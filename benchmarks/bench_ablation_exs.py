@@ -1,0 +1,23 @@
+"""Ablation: naive (Algorithm 1) vs monotonicity-pruned exhaustive search."""
+
+import pytest
+
+from repro.algorithms.exs import exs, exs_pruned
+from repro.platform import paper_platform
+
+
+@pytest.mark.parametrize("n,levels", [(6, 4), (9, 3)], ids=["6c4l", "9c3l"])
+def test_exs_naive(benchmark, n, levels):
+    """Vectorized full enumeration (L^N steady states)."""
+    p = paper_platform(n, n_levels=levels, t_max_c=55.0)
+    result = benchmark.pedantic(lambda: exs(p), rounds=2, iterations=1)
+    assert result.feasible
+
+
+@pytest.mark.parametrize("n,levels", [(6, 4), (9, 3)], ids=["6c4l", "9c3l"])
+def test_exs_pruned(benchmark, n, levels):
+    """DFS with thermal-monotonicity and bound pruning (same optimum)."""
+    p = paper_platform(n, n_levels=levels, t_max_c=55.0)
+    result = benchmark.pedantic(lambda: exs_pruned(p), rounds=2, iterations=1)
+    naive = exs(p)
+    assert result.throughput == pytest.approx(naive.throughput)

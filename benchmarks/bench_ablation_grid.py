@@ -1,0 +1,44 @@
+"""Ablation: core-level lumping vs sub-core grid refinement.
+
+The paper simplifies the floorplan to one node per core.  This ablation
+quantifies the cost of that choice: peak-temperature error and solver
+cost of k x k refined models against the coarse one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.floorplan.library import floorplan_3x1
+from repro.power.model import PowerModel
+from repro.schedule.builders import random_stepup_schedule
+from repro.thermal.grid_model import build_refined_model, refined_peak_error
+from repro.thermal.model import ThermalModel
+from repro.thermal.rc import build_single_layer_network
+
+
+@pytest.fixture(scope="module")
+def setup():
+    coarse = ThermalModel(build_single_layer_network(floorplan_3x1()), PowerModel())
+    rng = np.random.default_rng(9)
+    schedules = [random_stepup_schedule(3, rng, period=0.03) for _ in range(4)]
+    return coarse, schedules
+
+
+@pytest.mark.parametrize("k", [1, 2, 4], ids=["k1", "k2", "k4"])
+def test_refined_peak(benchmark, setup, k):
+    """Peak evaluation cost and error at k x k sub-blocks per core."""
+    coarse, schedules = setup
+    refined = build_refined_model(floorplan_3x1(), k=k)
+
+    def run():
+        return [refined_peak_error(coarse, refined, s) for s in schedules]
+
+    results = benchmark.pedantic(run, rounds=2, iterations=1)
+    if k == 1:
+        worst = max(err for _c, _r, err in results)
+        assert worst < 1e-9  # k=1 is the coarse model itself
+    else:
+        # Core-level lumping tracks the refined field to a few percent:
+        # the residual is the genuine within-core gradient.
+        worst_rel = max(err / max(c, 1.0) for c, _r, err in results)
+        assert worst_rel < 0.05

@@ -1,0 +1,47 @@
+"""Ablation: the m-scan tradeoff with and without transition overhead.
+
+Without overhead (tau = 0) Theorem 5 makes the peak monotone decreasing in
+m, so larger m is always at least as good.  With tau = 5 us the ratio
+inflation turns the scan into a genuine optimum search; this ablation
+times both scans and checks their shapes.
+"""
+
+import numpy as np
+
+from repro.algorithms.continuous import continuous_assignment
+from repro.algorithms.oscillation import choose_m, plan_modes
+from repro.platform import paper_platform
+
+
+def _plan(tau):
+    p = paper_platform(3, n_levels=2, t_max_c=65.0, tau=tau)
+    cont = continuous_assignment(p)
+    return p, plan_modes(p, cont.voltages)
+
+
+def test_m_scan_without_overhead(benchmark):
+    """tau = 0: peak monotone in m (Theorem 5), best m = scan end."""
+    p, plan = _plan(0.0)
+    m_opt, _, history = benchmark.pedantic(
+        lambda: choose_m(p, plan, period=0.02, m_cap=48), rounds=2, iterations=1
+    )
+    peaks = [pk for _, pk in history]
+    assert np.all(np.diff(peaks) <= 1e-9)
+    assert m_opt == history[-1][0]
+
+
+def test_m_scan_with_overhead(benchmark):
+    """tau = 5 us: ratio inflation creates an interior or bounded optimum."""
+    p, plan = _plan(5e-6)
+    m_opt, _, history = benchmark.pedantic(
+        lambda: choose_m(p, plan, period=0.02, m_cap=48), rounds=2, iterations=1
+    )
+    peaks = dict(history)
+    assert peaks[m_opt] == min(peaks.values())
+    # Overhead-adjusted peaks dominate the overhead-free ones.
+    p0, plan0 = _plan(0.0)
+    _, _, history0 = choose_m(p0, plan0, period=0.02, m_cap=48)
+    free = dict(history0)
+    for m, pk in history:
+        if m in free:
+            assert pk >= free[m] - 1e-9

@@ -1,0 +1,94 @@
+"""Ablation: peak-temperature engines — accuracy vs cost.
+
+Compares the three engines on the same random schedule set:
+
+* the literal Theorem-1 end value (``wrap_refine=False``) — cheapest,
+  subject to the wrap-continuation epsilon,
+* the wrap-refined step-up fast path (library default),
+* the general MatEx-style search with Brent refinement,
+* the RK45 settling oracle (reference only; orders slower).
+"""
+
+import numpy as np
+import pytest
+
+from repro.schedule.builders import random_stepup_schedule
+from repro.thermal.peak import peak_temperature, stepup_peak_temperature
+from repro.thermal.reference import reference_peak
+
+
+def _schedules(platform, count=8):
+    rng = np.random.default_rng(42)
+    return [
+        random_stepup_schedule(
+            platform.n_cores, rng, levels=(0.6, 0.8, 1.0, 1.2, 1.3), period=0.05
+        )
+        for _ in range(count)
+    ]
+
+
+def test_literal_theorem1_engine(benchmark, platform9):
+    """O(z) end-value only (the paper's literal Theorem 1)."""
+    scheds = _schedules(platform9)
+    model = platform9.model
+
+    def run():
+        return [
+            stepup_peak_temperature(model, s, check=False, wrap_refine=False).value
+            for s in scheds
+        ]
+
+    peaks = benchmark(run)
+    assert all(np.isfinite(peaks))
+
+
+def test_wrap_refined_engine(benchmark, platform9):
+    """End value + vectorized wrap-continuation grid scan (default)."""
+    scheds = _schedules(platform9)
+    model = platform9.model
+
+    def run():
+        return [
+            stepup_peak_temperature(model, s, check=False).value for s in scheds
+        ]
+
+    refined = benchmark(run)
+    literal = [
+        stepup_peak_temperature(model, s, check=False, wrap_refine=False).value
+        for s in scheds
+    ]
+    # The refined engine only ever finds more, and at most the epsilon more.
+    for lo, hi in zip(literal, refined):
+        assert lo - 1e-9 <= hi <= lo + 0.6
+
+
+def test_general_engine(benchmark, platform9):
+    """Full MatEx-style search with Brent refinement."""
+    scheds = _schedules(platform9)
+    model = platform9.model
+
+    def run():
+        return [
+            peak_temperature(model, s, stepup_fast_path=False).value for s in scheds
+        ]
+
+    general = benchmark(run)
+    refined = [stepup_peak_temperature(model, s, check=False, grid=96).value
+               for s in scheds]
+    for a, b in zip(general, refined):
+        assert a == pytest.approx(b, abs=0.05)
+
+
+def test_rk45_oracle(benchmark, platform3):
+    """The independent settling oracle (accuracy reference, slowest)."""
+    scheds = _schedules(platform3, count=2)
+    model = platform3.model
+
+    def run():
+        return [reference_peak(model, s, samples_per_interval=48) for s in scheds]
+
+    oracle = benchmark.pedantic(run, rounds=1, iterations=1)
+    fast = [stepup_peak_temperature(model, s, check=False, grid=96).value
+            for s in scheds]
+    for a, b in zip(oracle, fast):
+        assert a == pytest.approx(b, abs=0.05)

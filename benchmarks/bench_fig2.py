@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 2 (single-core vs chip-wide oscillation)."""
+
+from repro.experiments.fig2 import fig2
+
+
+def test_fig2(benchmark):
+    """Fig. 2: oscillating one core does not lower the 2-core peak."""
+    result = benchmark(fig2)
+    assert not result.single_core_helped
+    assert result.chipwide_peak_theta <= result.base_peak_theta + 1e-9

@@ -1,0 +1,17 @@
+"""Benchmark regenerating Fig. 3 (peak surface over phase placements)."""
+
+from repro.experiments.fig3 import fig3
+
+
+def test_fig3_surface(benchmark):
+    """Fig. 3: the step-up corner bounds the swept peak surface.
+
+    Runs the sweep at 0.5 s granularity (the paper uses 0.1 s; pass
+    ``step=0.1`` to :func:`repro.experiments.fig3.fig3` for the full
+    surface — same shape, ~25x the cells).
+    """
+    result = benchmark.pedantic(
+        lambda: fig3(step=0.5, grid_per_interval=32), rounds=3, iterations=1
+    )
+    assert result.bound_holds
+    assert result.max_peak_theta > result.min_peak_theta

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Fig. 4 (6-core step-up traces)."""
+
+from repro.experiments.fig4 import fig4
+
+
+def test_fig4_traces(benchmark):
+    """Fig. 4: warm-up + stable-status traces of a 6-core step-up schedule."""
+    result = benchmark.pedantic(
+        lambda: fig4(warmup_periods=12, samples_per_interval=24),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.peak_at_end
+    assert result.monotone_rise

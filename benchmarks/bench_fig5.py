@@ -1,0 +1,13 @@
+"""Benchmark regenerating Fig. 5 (9-core peak vs m)."""
+
+import numpy as np
+
+from repro.experiments.fig5 import fig5
+
+
+def test_fig5_m_sweep(benchmark):
+    """Fig. 5: the m-oscillating peak decreases monotonically in m."""
+    result = benchmark.pedantic(lambda: fig5(m_max=10), rounds=3, iterations=1)
+    assert result.monotone
+    assert result.peaks_theta[-1] <= result.peaks_theta[0]
+    assert len(result.m_values) == 10

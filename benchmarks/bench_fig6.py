@@ -1,0 +1,30 @@
+"""Benchmark regenerating Fig. 6 (throughput vs cores x ladder size).
+
+The benchmark runs a representative sub-grid (full grid = the standalone
+``repro fig6`` CLI run recorded in EXPERIMENTS.md); shape assertions check
+the paper's two headline observations.
+"""
+
+from repro.experiments.fig6 import fig6
+
+
+def test_fig6_grid(benchmark):
+    """Fig. 6: AO/PCO on top; smaller ladders widen the margin over EXS."""
+    result = benchmark.pedantic(
+        lambda: fig6(
+            core_counts=(2, 3, 6),
+            level_counts=(2, 4),
+            m_cap=24,
+            shift_grid=4,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    for cell in result.grid.cells:
+        assert cell.throughput("AO") >= cell.throughput("EXS") - 1e-9
+        assert cell.throughput("PCO") >= cell.throughput("EXS") - 1e-9
+        assert cell.throughput("EXS") >= cell.throughput("LNS") - 1e-9
+    for n in (2, 3, 6):
+        wide = result.grid.find(n, n_levels=2).improvement("AO", "EXS")
+        narrow = result.grid.find(n, n_levels=4).improvement("AO", "EXS")
+        assert wide >= narrow - 1e-9

@@ -1,0 +1,30 @@
+"""Benchmark regenerating Fig. 7 (throughput vs temperature threshold)."""
+
+from repro.experiments.fig7 import fig7
+
+
+def test_fig7_threshold_sweep(benchmark):
+    """Fig. 7: every approach's throughput grows with T_max; AO on top."""
+    result = benchmark.pedantic(
+        lambda: fig7(
+            core_counts=(2, 3, 6),
+            t_max_values=(50.0, 55.0, 60.0, 65.0),
+            approaches=("LNS", "EXS", "AO"),
+            m_cap=24,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    for n in (2, 3, 6):
+        for name in ("EXS", "AO"):
+            series = [
+                result.grid.find(n, t_max_c=t).throughput(name)
+                for t in (50.0, 55.0, 60.0, 65.0)
+            ]
+            finite = [s for s in series if s == s]
+            assert all(b >= a - 1e-9 for a, b in zip(finite, finite[1:]))
+    for cell in result.grid.cells:
+        ao_thr = cell.throughput("AO")
+        exs_thr = cell.throughput("EXS")
+        if ao_thr == ao_thr and exs_thr == exs_thr:
+            assert ao_thr >= exs_thr - 1e-9

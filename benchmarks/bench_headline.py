@@ -1,0 +1,20 @@
+"""Benchmark regenerating the abstract's headline claim (AO vs EXS)."""
+
+from repro.experiments.headline import headline
+
+
+def test_headline_improvements(benchmark):
+    """Aggregate AO-over-EXS improvement across a representative grid."""
+    result = benchmark.pedantic(
+        lambda: headline(
+            core_counts=(2, 3, 6),
+            level_counts=(2, 3),
+            t_max_values=(55.0, 60.0, 65.0),
+            m_cap=24,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.improvements.size > 0
+    assert result.max_improvement > 0.10   # double-digit best-case gain
+    assert result.mean_improvement > 0.0

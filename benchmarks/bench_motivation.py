@@ -1,0 +1,26 @@
+"""Benchmarks regenerating Tables II and III (section III).
+
+Each benchmark regenerates the artifact and asserts its headline shape so
+a timing run doubles as a correctness run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.motivation import table2, table3
+
+
+def test_table2(benchmark):
+    """Table II: eq.-(11) ratios matching the ideal throughput."""
+    result = benchmark(table2)
+    assert result.high_ratios == pytest.approx([0.8693, 0.8211, 0.8693], abs=1e-4)
+    assert result.ideal_throughput == pytest.approx(1.1972, abs=2e-4)
+
+
+def test_table3(benchmark):
+    """Table III: TPT-throttled ratios for t_p = 20/10/5 ms."""
+    result = benchmark.pedantic(
+        lambda: table3(periods=(0.020, 0.010, 0.005)), rounds=3, iterations=1
+    )
+    assert np.all(result.peaks_theta <= 30.0 + 1e-6)
+    assert np.all(np.diff(result.throughputs) > 0)  # shorter period -> more THR

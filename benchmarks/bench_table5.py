@@ -1,0 +1,40 @@
+"""Benchmarks regenerating Table V (computation-time comparison).
+
+Each approach is benchmarked separately on the growing configurations so
+pytest-benchmark's report *is* the Table V reproduction: EXS explodes with
+cores x levels while AO grows mildly and PCO costs a factor over AO.
+"""
+
+import pytest
+
+from repro.algorithms import ao, exs, pco
+from repro.platform import paper_platform
+
+CONFIGS = [(2, 2), (3, 3), (6, 3), (9, 2), (9, 4)]
+
+
+@pytest.mark.parametrize("n,levels", CONFIGS, ids=[f"{n}c{l}l" for n, l in CONFIGS])
+def test_exs_time(benchmark, n, levels):
+    """EXS wall-clock across the grid (exponential in cores x levels)."""
+    p = paper_platform(n, n_levels=levels, t_max_c=65.0)
+    result = benchmark.pedantic(lambda: exs(p), rounds=2, iterations=1)
+    assert result.feasible
+
+
+@pytest.mark.parametrize("n,levels", CONFIGS, ids=[f"{n}c{l}l" for n, l in CONFIGS])
+def test_ao_time(benchmark, n, levels):
+    """AO wall-clock across the same grid (stays within seconds)."""
+    p = paper_platform(n, n_levels=levels, t_max_c=65.0)
+    result = benchmark.pedantic(lambda: ao(p, m_cap=64), rounds=2, iterations=1)
+    assert result.feasible
+
+
+@pytest.mark.parametrize("n,levels", [(2, 2), (3, 3), (6, 3)],
+                         ids=["2c2l", "3c3l", "6c3l"])
+def test_pco_time(benchmark, n, levels):
+    """PCO wall-clock (a constant factor over AO: the general peak engine)."""
+    p = paper_platform(n, n_levels=levels, t_max_c=65.0)
+    result = benchmark.pedantic(
+        lambda: pco(p, m_cap=64, shift_grid=4), rounds=1, iterations=1
+    )
+    assert result.feasible

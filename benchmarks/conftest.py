@@ -1,0 +1,20 @@
+"""Shared benchmark fixtures (scale-reduced platform grids)."""
+
+import pytest
+
+from repro.platform import paper_platform
+
+
+@pytest.fixture(scope="session")
+def platform3():
+    return paper_platform(3, n_levels=2, t_max_c=65.0)
+
+
+@pytest.fixture(scope="session")
+def platform6():
+    return paper_platform(6, n_levels=3, t_max_c=55.0)
+
+
+@pytest.fixture(scope="session")
+def platform9():
+    return paper_platform(9, n_levels=2, t_max_c=55.0)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Dark-silicon power budgeting: which cores to favour on a 3x3 chip.
+
+The paper's introduction motivates the work with the dark-silicon problem:
+at fixed peak temperature, not every core can run fast — and *which* cores
+get the budget matters because boundary cores dissipate heat better than
+the center core.  This example maps the thermal budget of the 9-core chip:
+
+1. the ideal continuous speed of every core at several thresholds (the
+   center core always loses),
+2. what a naive uniform-speed governor would leave on the table,
+3. how AO's frequency oscillation converts the per-core asymmetry into
+   throughput that single-mode approaches (EXS) cannot reach.
+
+Run:  python examples/dark_silicon_budgeting.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ao, exs, paper_platform
+from repro.algorithms.continuous import continuous_assignment
+from repro.experiments.reporting import ascii_table
+
+
+def uniform_speed_limit(platform) -> float:
+    """Highest single voltage every core can run simultaneously."""
+    lo, hi = 0.6, 1.3
+    for _ in range(48):  # bisection on the (monotone) thermal map
+        mid = 0.5 * (lo + hi)
+        theta = platform.model.steady_state_cores(np.full(platform.n_cores, mid))
+        if theta.max() <= platform.theta_max:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def main() -> None:
+    print("Per-core thermal budget on the 3x3 chip (ideal continuous voltages)\n")
+    rows = []
+    for t_max in (50.0, 55.0, 60.0, 65.0):
+        platform = paper_platform(9, n_levels=2, t_max_c=t_max)
+        ca = continuous_assignment(platform)
+        v = ca.voltages.reshape(3, 3)
+        rows.append(
+            (
+                f"{t_max:.0f} C",
+                float(v[0, 0]),   # corner (2 neighbours)
+                float(v[0, 1]),   # edge (3 neighbours)
+                float(v[1, 1]),   # center (4 neighbours)
+                float(ca.throughput),
+            )
+        )
+    print(ascii_table(
+        ["T_max", "corner core", "edge core", "center core", "chip THR"],
+        rows,
+    ))
+    print("\nthe center core always gets the smallest budget — its heat has "
+          "the worst escape path.\n")
+
+    print("What the asymmetry is worth (T_max = 55 C, modes {0.6, 1.3} V):\n")
+    platform = paper_platform(9, n_levels=2, t_max_c=55.0)
+    uniform = uniform_speed_limit(platform)
+    ca = continuous_assignment(platform)
+    r_exs = exs(platform)
+    r_ao = ao(platform, m_cap=64)
+
+    rows = [
+        ("uniform continuous speed", uniform, "every core at the same v"),
+        ("per-core continuous ideal", ca.throughput, "center throttled, edges up"),
+        ("EXS (one discrete mode/core)", r_exs.throughput, "best single-mode choice"),
+        ("AO (frequency oscillation)", r_ao.throughput,
+         f"m = {r_ao.details['m_opt']} oscillation"),
+    ]
+    print(ascii_table(["strategy", "throughput", "note"], rows))
+    gain = (r_ao.throughput - r_exs.throughput) / r_exs.throughput
+    print(f"\nAO recovers {r_ao.throughput / ca.throughput:.1%} of the continuous "
+          f"ideal — {gain:+.1%} over the best discrete single-mode assignment.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Reactive DTM vs the proactive AO schedule — the intro's argument, live.
+
+Simulates a per-core threshold-throttling governor (sensor + hysteresis)
+on the same calibrated thermal model the proactive algorithms use, sweeps
+its two knobs — guard band and sensor latency — and puts AO's offline
+guarantee next to it.
+
+Run:  python examples/reactive_vs_proactive.py
+"""
+
+from __future__ import annotations
+
+from repro import ao, paper_platform
+from repro.algorithms.reactive import reactive_throttling
+from repro.experiments.reporting import ascii_table
+
+
+def main() -> None:
+    platform = paper_platform(3, n_levels=2, t_max_c=65.0)
+    r_ao = ao(platform)
+
+    print("Guard-band sweep (sensor every 1 ms):\n")
+    rows = []
+    for guard in (0.0, 0.5, 1.0, 2.0, 4.0, 8.0):
+        r = reactive_throttling(platform, guard_band=guard)
+        rows.append(
+            (
+                f"{guard:.1f} K",
+                float(r.throughput),
+                float(r.details["overshoot_k"]),
+                "OK" if r.feasible else "VIOLATION",
+            )
+        )
+    rows.append(("AO (proactive)", float(r_ao.throughput), 0.0, "OK"))
+    print(ascii_table(["guard band", "THR", "overshoot (K)", "T_max"], rows))
+
+    print("\nSensor-latency sweep (guard band 1 K):\n")
+    rows = []
+    for period_ms in (0.25, 0.5, 1.0, 2.0, 4.0):
+        r = reactive_throttling(
+            platform, guard_band=1.0, sensor_period=period_ms * 1e-3
+        )
+        rows.append(
+            (
+                f"{period_ms:.2f} ms",
+                float(r.throughput),
+                float(r.details["overshoot_k"]),
+                "OK" if r.feasible else "VIOLATION",
+            )
+        )
+    print(ascii_table(["sensor period", "THR", "overshoot (K)", "T_max"], rows))
+
+    print(
+        "\ntakeaway: every reactive setting either overshoots T_max (the "
+        "sensor reacts too late)\nor hides behind a guard band that costs "
+        f"throughput; AO delivers {r_ao.throughput:.4f} with a computed, "
+        "not sensed, guarantee."
+    )
+
+
+if __name__ == "__main__":
+    main()

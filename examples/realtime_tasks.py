@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Thermally-safe scheduling of a periodic real-time task set.
+
+The full downstream pipeline on the 9-core chip:
+
+1. generate a random implicit-deadline task set (UUniFast),
+2. partition it with three heuristics (FFD, WFD, thermal-aware WFD),
+3. derive each core's required average speed,
+4. build the peak-minimizing m-oscillating schedule for those speeds
+   (Theorems 3-5 operationalized by ``repro.algorithms.minpeak``),
+5. report thermal slack and verify the winner against the ODE oracle.
+
+Run:  python examples/realtime_tasks.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import paper_platform
+from repro.experiments.reporting import ascii_table
+from repro.thermal.reference import reference_peak
+from repro.workload import (
+    TaskSet,
+    first_fit_decreasing,
+    schedule_taskset,
+    thermal_aware_mapping,
+    worst_fit_decreasing,
+)
+
+
+def main() -> None:
+    platform = paper_platform(9, n_levels=5, t_max_c=60.0)
+    rng = np.random.default_rng(2016)
+    taskset = TaskSet.random(24, total_utilization=7.2, rng=rng)
+    print(f"task set: {len(taskset)} tasks, total utilization "
+          f"{taskset.total_utilization:.2f} on {platform.n_cores} cores, "
+          f"T_max = {platform.t_max_c} C\n")
+
+    rows = []
+    results = {}
+    for mapper in (first_fit_decreasing, worst_fit_decreasing,
+                   thermal_aware_mapping):
+        r = schedule_taskset(platform, taskset, mapper=mapper)
+        results[mapper.__name__] = r
+        utils = r.mapping.core_utilizations()
+        rows.append(
+            (
+                mapper.__name__,
+                f"{utils.min():.2f}-{utils.max():.2f}",
+                r.minpeak.m,
+                float(r.minpeak.peak.value + 35.0),
+                float(r.slack_theta),
+                "OK" if r.thermally_feasible else "VIOLATION",
+            )
+        )
+    print(ascii_table(
+        ["mapping", "core load range", "m", "peak (C)", "slack (K)", "verdict"],
+        rows,
+    ))
+
+    print("\nwhy FFD loses: it stacks the heaviest tasks onto adjacent cores, "
+          "creating a hot cluster;\nWFD spreads them; the thermal-aware "
+          "variant additionally unloads the chip center.\n")
+
+    best_name = max(
+        (n for n, r in results.items() if r.thermally_feasible),
+        key=lambda n: results[n].slack_theta,
+        default=None,
+    )
+    if best_name is None:
+        print("no mapping is thermally feasible — shed load or raise T_max.")
+        return
+    best = results[best_name]
+    oracle = reference_peak(
+        platform.model, best.minpeak.schedule, samples_per_interval=48
+    )
+    print(f"winner: {best_name} — oracle-verified peak "
+          f"{oracle + 35.0:.2f} C (threshold {platform.t_max_c} C)")
+    assert oracle <= platform.theta_max + 0.05
+
+
+if __name__ == "__main__":
+    main()

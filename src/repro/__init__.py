@@ -1,0 +1,87 @@
+"""repro — reproduction of "Performance Maximization via Frequency
+Oscillation on Temperature Constrained Multi-core Processors" (ICPP 2016).
+
+The package implements the paper's complete stack:
+
+* :mod:`repro.floorplan` — core-grid floorplans (the paper's 2/3/6/9-core
+  chips),
+* :mod:`repro.power` — the eq.-(1) power model, discrete DVFS ladders and
+  transition overhead,
+* :mod:`repro.thermal` — the eq.-(2) RC thermal model, closed-form
+  transient/periodic solvers, peak identification (Theorem-1 fast path and
+  the MatEx-style general search), calibration, and an independent ODE
+  oracle,
+* :mod:`repro.schedule` — periodic multi-core schedules with the step-up
+  and m-oscillating transforms,
+* :mod:`repro.algorithms` — LNS, EXS (Algorithm 1), AO (Algorithm 2) and
+  PCO,
+* :mod:`repro.analysis` — executable checks of Theorems 1-5,
+* :mod:`repro.experiments` — one callable per table/figure of the paper.
+
+Quickstart::
+
+    from repro import paper_platform, ao
+
+    platform = paper_platform(n_cores=3, n_levels=2, t_max_c=65.0)
+    result = ao(platform)
+    print(result.summary())
+"""
+
+from repro.platform import Platform, paper_platform, platform_3d
+from repro.algorithms import (
+    SchedulerResult,
+    dark_silicon_ao,
+    ao,
+    continuous_assignment,
+    exs,
+    exs_pruned,
+    lns,
+    pco,
+)
+from repro.power import PowerModel, TransitionOverhead, VoltageLadder, paper_ladder
+from repro.schedule import PeriodicSchedule, m_oscillate, step_up, throughput
+from repro.thermal import ThermalModel, peak_temperature, stepup_peak_temperature
+from repro.floorplan import Floorplan, grid_floorplan, paper_floorplan
+from repro.algorithms.minpeak import minimize_peak
+from repro.workload import TaskSet, PeriodicTask, schedule_taskset
+from repro.sim import cosimulate
+from repro.experiments import run_experiment
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Platform",
+    "paper_platform",
+    "platform_3d",
+    "SchedulerResult",
+    "ao",
+    "pco",
+    "exs",
+    "exs_pruned",
+    "lns",
+    "continuous_assignment",
+    "dark_silicon_ao",
+    "PowerModel",
+    "TransitionOverhead",
+    "VoltageLadder",
+    "paper_ladder",
+    "PeriodicSchedule",
+    "m_oscillate",
+    "step_up",
+    "throughput",
+    "ThermalModel",
+    "peak_temperature",
+    "stepup_peak_temperature",
+    "Floorplan",
+    "grid_floorplan",
+    "paper_floorplan",
+    "minimize_peak",
+    "TaskSet",
+    "PeriodicTask",
+    "schedule_taskset",
+    "cosimulate",
+    "run_experiment",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Throughput-maximization algorithms: LNS, EXS, AO (Algorithm 2), PCO."""
+
+from repro.algorithms.base import SchedulerResult
+from repro.algorithms.continuous import ContinuousAssignment, continuous_assignment
+from repro.algorithms.lns import lns
+from repro.algorithms.exs import exs, exs_pruned
+from repro.algorithms.oscillation import (
+    ModePlan,
+    plan_modes,
+    adjusted_high_ratios,
+    build_oscillating_schedule,
+    choose_m,
+    effective_throughput,
+)
+from repro.algorithms.tpt import enforce_threshold, fill_headroom
+from repro.algorithms.minpeak import MinPeakResult, minimize_peak
+from repro.algorithms.ao import ao
+from repro.algorithms.dark import dark_silicon_ao
+from repro.algorithms.reactive import reactive_throttling
+from repro.algorithms.pco import pco
+
+__all__ = [
+    "SchedulerResult",
+    "ContinuousAssignment",
+    "continuous_assignment",
+    "lns",
+    "exs",
+    "exs_pruned",
+    "ModePlan",
+    "plan_modes",
+    "adjusted_high_ratios",
+    "build_oscillating_schedule",
+    "choose_m",
+    "effective_throughput",
+    "enforce_threshold",
+    "fill_headroom",
+    "MinPeakResult",
+    "minimize_peak",
+    "ao",
+    "dark_silicon_ao",
+    "reactive_throttling",
+    "pco",
+]

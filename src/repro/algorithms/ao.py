@@ -1,0 +1,143 @@
+"""AO — aligned oscillation, the paper's Algorithm 2.
+
+Steps (section V):
+
+1. Ideal continuous voltages with the stable state pinned at ``T_max``
+   (:mod:`repro.algorithms.continuous`).
+2. Two neighboring discrete modes + throughput-preserving ratios per core
+   (:func:`repro.algorithms.oscillation.plan_modes`, Theorems 3/4).
+3. Linear scan for the oscillation count ``m`` under the transition-
+   overhead bound ``M``, minimizing the Theorem-1 stable peak
+   (:func:`repro.algorithms.oscillation.choose_m`).
+4. TPT-guided ratio reduction until the peak respects ``T_max``
+   (:func:`repro.algorithms.tpt.enforce_threshold`); when the chosen m
+   leaves headroom instead, an optional symmetric fill consumes it.
+
+Every intermediate schedule is step-up, so peaks are exact and cheap —
+this is what buys the orders-of-magnitude speedup over EXS at scale.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.algorithms.base import SchedulerResult
+from repro.algorithms.continuous import continuous_assignment
+from repro.algorithms.oscillation import (
+    DEFAULT_M_CAP,
+    adjusted_high_ratios,
+    build_oscillating_schedule,
+    choose_m,
+    effective_throughput,
+    plan_modes,
+)
+from repro.algorithms.tpt import enforce_threshold, fill_headroom
+from repro.platform import Platform
+from repro.thermal.peak import peak_temperature, stepup_peak_temperature
+
+__all__ = ["ao"]
+
+
+def ao(
+    platform: Platform,
+    period: float = 0.02,
+    m_cap: int = DEFAULT_M_CAP,
+    m_step: int = 1,
+    t_unit: float | None = None,
+    fill: bool = True,
+    adaptive: bool = True,
+    active_mask=None,
+) -> SchedulerResult:
+    """Run Algorithm 2 (AO) on the platform.
+
+    Parameters
+    ----------
+    period:
+        The base schedule period ``t_p`` before oscillation (the paper's
+        motivation example uses 20 ms).
+    m_cap, m_step:
+        Bounds/stride of the linear m scan.
+    t_unit:
+        TPT time quantum (default: cycle/200).
+    fill:
+        Consume leftover headroom by growing ratios after the TPT loop.
+    adaptive:
+        Batch TPT quanta via local linearity (same fixed point, far fewer
+        iterations); disable for the paper-literal loop.
+    active_mask:
+        Optional boolean mask of cores allowed to run; the rest are
+        power-gated (dark silicon — see
+        :func:`repro.algorithms.dark.dark_silicon_ao`).
+    """
+    t0 = time.perf_counter()
+    cont = continuous_assignment(platform, active_mask=active_mask)
+    plan = plan_modes(platform, cont.voltages)
+
+    details: dict = {
+        "continuous_voltages": cont.voltages,
+        "v_low": plan.v_low,
+        "v_high": plan.v_high,
+        "base_high_ratio": plan.high_ratio,
+    }
+
+    if not plan.oscillating.any():
+        # Every core hit a ladder level exactly: a constant schedule.
+        sched = build_oscillating_schedule(plan, plan.high_ratio, period, 1)
+        peak = stepup_peak_temperature(platform.model, sched, check=False)
+        ratios = plan.high_ratio.copy()
+        m_opt = 1
+        tpt_iters = 0
+        details["m_history"] = [(1, peak.value)]
+    else:
+        m_opt, sched, history = choose_m(
+            platform, plan, period, m_cap=m_cap, m_step=m_step
+        )
+        details["m_history"] = history
+        ratios = adjusted_high_ratios(platform, plan, m_opt, period)
+        ratios, sched, peak, tpt_iters = enforce_threshold(
+            platform, plan, ratios, period, m_opt,
+            t_unit=t_unit, adaptive=adaptive,
+        )
+
+    fill_iters = 0
+    if fill and peak.value < platform.theta_max - 1e-6 and plan.oscillating.any():
+        ratios, sched, peak, fill_iters = fill_headroom(
+            platform, plan, ratios, period, m_opt,
+            t_unit=t_unit, adaptive=adaptive,
+        )
+
+    # Final safety verification with the exact engine: the step-up fast
+    # path's grid scan can under-resolve a wrap-continuation hump by a few
+    # hundredths of a Kelvin.  If the refined peak tops T_max, run one more
+    # TPT pass priced with the exact engine.
+    exact = peak_temperature(platform.model, sched, grid_per_interval=96)
+    if exact.value > platform.theta_max + 1e-6 and plan.oscillating.any():
+        def exact_fn(s):
+            return peak_temperature(platform.model, s, grid_per_interval=96)
+
+        ratios, sched, exact, extra = enforce_threshold(
+            platform, plan, ratios, period, m_opt,
+            t_unit=t_unit, adaptive=adaptive, peak_fn=exact_fn,
+        )
+        tpt_iters += extra
+    peak = exact
+
+    throughput = effective_throughput(sched, platform)
+    elapsed = time.perf_counter() - t0
+    details.update(
+        {
+            "m_opt": m_opt,
+            "final_high_ratio": ratios,
+            "tpt_iterations": tpt_iters,
+            "fill_iterations": fill_iters,
+        }
+    )
+    return SchedulerResult(
+        name="AO",
+        schedule=sched,
+        throughput=float(throughput),
+        peak_theta=float(peak.value),
+        feasible=bool(peak.value <= platform.theta_max + 1e-6),
+        runtime_s=elapsed,
+        details=details,
+    )

@@ -1,0 +1,62 @@
+"""Common result type for all scheduling algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.schedule.periodic import PeriodicSchedule
+
+__all__ = ["SchedulerResult"]
+
+
+@dataclass(frozen=True)
+class SchedulerResult:
+    """The outcome of a throughput-maximization run.
+
+    Attributes
+    ----------
+    name:
+        Algorithm identifier ("LNS", "EXS", "AO", "PCO", ...).
+    schedule:
+        The emitted periodic schedule.
+    throughput:
+        Chip-wide throughput per eq. (5), net of DVFS transition losses
+        where the algorithm incurs them.
+    peak_theta:
+        Stable-status peak core temperature above ambient (K) as computed
+        by the algorithm's own peak engine.
+    feasible:
+        Whether ``peak_theta`` respects the platform threshold.
+    runtime_s:
+        Wall-clock seconds the algorithm spent.
+    details:
+        Algorithm-specific extras (chosen m, mode plan, search statistics).
+    """
+
+    name: str
+    schedule: PeriodicSchedule
+    throughput: float
+    peak_theta: float
+    feasible: bool
+    runtime_s: float = 0.0
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def peak_celsius(self, t_ambient_c: float = 35.0) -> float:
+        """Peak temperature in Celsius."""
+        return self.peak_theta + t_ambient_c
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.name}: THR={self.throughput:.4f}, "
+            f"peak={self.peak_theta:.2f} K above ambient, "
+            f"feasible={self.feasible}, {self.runtime_s * 1e3:.1f} ms"
+        )
+
+    def mean_voltage(self) -> float:
+        """Time-averaged voltage across cores (equals eq.-5 THR when f=v)."""
+        sched = self.schedule
+        volts = sched.voltage_matrix
+        lengths = sched.lengths
+        return float((volts * lengths[:, None]).sum() / (sched.n_cores * sched.period))

@@ -1,0 +1,51 @@
+"""LNS — the lower-neighboring-speed baseline (section III).
+
+Compute the ideal continuous voltages, then round each core *down* to the
+nearest available discrete level.  Monotonicity of the thermal map makes
+the rounded point always feasible, but with few levels the loss can be
+large — this is the pessimism the paper's motivation example quantifies.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.algorithms.base import SchedulerResult
+from repro.algorithms.continuous import continuous_assignment
+from repro.platform import Platform
+from repro.schedule.builders import constant_schedule
+
+__all__ = ["lns"]
+
+
+def lns(platform: Platform, period: float = 0.02) -> SchedulerResult:
+    """Run the LNS baseline.
+
+    Parameters
+    ----------
+    platform:
+        The target platform.
+    period:
+        Nominal period of the emitted (constant) schedule — it only labels
+        the schedule object; a constant schedule's behaviour is
+        period-independent.
+    """
+    t0 = time.perf_counter()
+    cont = continuous_assignment(platform)
+    voltages = np.array(
+        [platform.ladder.lower_neighbor(v) for v in cont.voltages]
+    )
+    theta = platform.model.steady_state_cores(voltages)
+    peak = float(theta.max())
+    elapsed = time.perf_counter() - t0
+    return SchedulerResult(
+        name="LNS",
+        schedule=constant_schedule(voltages, period=period),
+        throughput=float(np.mean(voltages)),
+        peak_theta=peak,
+        feasible=bool(peak <= platform.theta_max + 1e-9),
+        runtime_s=elapsed,
+        details={"continuous_voltages": cont.voltages},
+    )

@@ -1,0 +1,37 @@
+"""Analysis utilities: executable forms of the paper's theorems."""
+
+from repro.analysis.bounds import (
+    Screen,
+    ScreeningReport,
+    classify_schedule,
+    prune_candidates,
+    stepup_bound,
+)
+from repro.analysis.tsp import TSPResult, thermal_safe_power, tsp_throughput
+from repro.analysis.theorems import (
+    TheoremReport,
+    check_theorem1,
+    check_theorem2,
+    check_theorem3,
+    check_theorem4,
+    check_theorem5,
+    check_cooling_property,
+)
+
+__all__ = [
+    "Screen",
+    "ScreeningReport",
+    "classify_schedule",
+    "prune_candidates",
+    "stepup_bound",
+    "TSPResult",
+    "thermal_safe_power",
+    "tsp_throughput",
+    "TheoremReport",
+    "check_theorem1",
+    "check_theorem2",
+    "check_theorem3",
+    "check_theorem4",
+    "check_theorem5",
+    "check_cooling_property",
+]

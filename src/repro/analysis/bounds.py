@@ -1,0 +1,126 @@
+"""Design-space pruning with the step-up peak bound (Theorem 2).
+
+The point of Theorem 2 is cheap *screening*: the step-up reordering's peak
+is computable in linear time and upper-bounds the candidate's true peak,
+so candidates whose bound already fits under ``T_max`` can be accepted
+without ever running the expensive general peak search.  This module
+packages that bound-then-verify pattern:
+
+* :func:`stepup_bound` — the bound itself (with the wrap-epsilon margin),
+* :func:`classify_schedule` — accept / reject / verify decision for one
+  candidate,
+* :func:`prune_candidates` — batch screening with statistics, the shape a
+  design-space explorer (like PCO's phase search) would use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.schedule.periodic import PeriodicSchedule
+from repro.schedule.transforms import step_up
+from repro.thermal.model import ThermalModel
+from repro.thermal.peak import peak_temperature, stepup_peak_temperature
+
+__all__ = ["Screen", "ScreeningReport", "stepup_bound", "classify_schedule",
+           "prune_candidates"]
+
+#: Safety margin (K) added to the bound to absorb the wrap-continuation
+#: epsilon (EXPERIMENTS.md Finding 1: worst observed ~0.25 K on arbitrary
+#: schedules, <1 % relative).
+WRAP_MARGIN = 0.3
+
+
+class Screen(Enum):
+    """Outcome of the cheap screening stage."""
+
+    ACCEPT = "accept"    # bound (plus margin) fits under the threshold
+    VERIFY = "verify"    # bound inconclusive; run the general engine
+    REJECT = "reject"    # even an optimistic slack cannot save it
+
+
+def stepup_bound(model: ThermalModel, schedule: PeriodicSchedule) -> float:
+    """Theorem-2 upper bound on the schedule's stable peak (K above ambient)."""
+    return stepup_peak_temperature(model, step_up(schedule), check=False).value
+
+
+def classify_schedule(
+    model: ThermalModel,
+    schedule: PeriodicSchedule,
+    theta_max: float,
+    reject_slack: float = 5.0,
+    margin: float = WRAP_MARGIN,
+) -> Screen:
+    """Screen one candidate against ``theta_max`` using only the bound.
+
+    * ``ACCEPT`` when ``bound + margin <= theta_max`` — the candidate is
+      certainly feasible (up to the wrap epsilon, absorbed by ``margin``).
+    * ``REJECT`` when ``bound - reject_slack > theta_max`` — the bound is
+      so far over that no reordering slack can rescue it (``reject_slack``
+      is how much the true peak may sit below its step-up bound; 5 K is a
+      generous default on the calibrated chip).
+    * ``VERIFY`` otherwise.
+    """
+    bound = stepup_bound(model, schedule)
+    if bound + margin <= theta_max:
+        return Screen.ACCEPT
+    if bound - reject_slack > theta_max:
+        return Screen.REJECT
+    return Screen.VERIFY
+
+
+@dataclass(frozen=True)
+class ScreeningReport:
+    """Batch screening outcome.
+
+    Attributes
+    ----------
+    feasible:
+        Indices of candidates established feasible (bound-accepted or
+        verify-confirmed).
+    infeasible:
+        Indices established infeasible.
+    verified:
+        Indices that needed the general engine.
+    """
+
+    feasible: tuple[int, ...]
+    infeasible: tuple[int, ...]
+    verified: tuple[int, ...]
+
+    @property
+    def general_engine_fraction(self) -> float:
+        """Share of candidates that needed the expensive engine."""
+        total = len(self.feasible) + len(self.infeasible)
+        return len(self.verified) / total if total else 0.0
+
+
+def prune_candidates(
+    model: ThermalModel,
+    candidates: list[PeriodicSchedule],
+    theta_max: float,
+    reject_slack: float = 5.0,
+    margin: float = WRAP_MARGIN,
+) -> ScreeningReport:
+    """Screen a candidate list, verifying only the inconclusive ones."""
+    feasible: list[int] = []
+    infeasible: list[int] = []
+    verified: list[int] = []
+    for k, schedule in enumerate(candidates):
+        screen = classify_schedule(
+            model, schedule, theta_max, reject_slack=reject_slack, margin=margin
+        )
+        if screen is Screen.ACCEPT:
+            feasible.append(k)
+        elif screen is Screen.REJECT:
+            infeasible.append(k)
+        else:
+            verified.append(k)
+            true_peak = peak_temperature(model, schedule).value
+            (feasible if true_peak <= theta_max + 1e-9 else infeasible).append(k)
+    return ScreeningReport(
+        feasible=tuple(feasible),
+        infeasible=tuple(infeasible),
+        verified=tuple(verified),
+    )

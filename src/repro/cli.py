@@ -1,0 +1,135 @@
+"""Command-line entry point: ``repro <experiment-id> [options]``.
+
+Regenerates any table/figure of the paper from the terminal::
+
+    repro table2
+    repro fig6 --quick
+    repro fig3 --option step=0.5
+    repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+#: Scale-reduced keyword arguments per experiment for --quick runs.
+QUICK_ARGS: dict[str, dict] = {
+    "table2": {},
+    "table3": {"periods": (0.020, 0.010)},
+    "fig2": {},
+    "fig3": {"step": 1.0, "grid_per_interval": 24},
+    "fig4": {"warmup_periods": 4, "samples_per_interval": 8},
+    "fig5": {"m_max": 5},
+    "fig6": {"core_counts": (2, 3), "level_counts": (2, 3), "m_cap": 16},
+    "fig7": {"core_counts": (2, 3), "t_max_values": (55.0, 65.0), "m_cap": 16},
+    "table5": {"core_counts": (2, 3), "level_counts": (2, 3), "m_cap": 16},
+    "headline": {"core_counts": (2, 3), "level_counts": (2, 3),
+                 "t_max_values": (55.0, 65.0), "m_cap": 16},
+    "tsp": {"core_counts": (2, 3), "m_cap": 16},
+    "reactive": {"guard_bands": (0.0, 3.0), "m_cap": 16},
+}
+
+
+def _parse_option(text: str):
+    """Parse a ``key=value`` option with a best-effort typed value."""
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(f"option must be key=value, got {text!r}")
+    key, raw = text.split("=", 1)
+    for caster in (int, float):
+        try:
+            return key, caster(raw)
+        except ValueError:
+            continue
+    if raw.lower() in ("true", "false"):
+        return key, raw.lower() == "true"
+    return key, raw
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the tables and figures of 'Performance Maximization "
+            "via Frequency Oscillation on Temperature Constrained Multi-core "
+            "Processors' (ICPP 2016)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (or 'list' to enumerate available experiments)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run a scale-reduced version (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--option",
+        "-o",
+        action="append",
+        default=[],
+        type=_parse_option,
+        metavar="KEY=VALUE",
+        help="override an experiment keyword argument (repeatable)",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="PATH",
+        help=(
+            "additionally write the result grid as CSV "
+            "(experiments exposing a grid only)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    if args.experiment not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; known: "
+            f"{', '.join(sorted(EXPERIMENTS))} (or 'list')",
+            file=sys.stderr,
+        )
+        return 2
+
+    kwargs = dict(QUICK_ARGS.get(args.experiment, {})) if args.quick else {}
+    kwargs.update(dict(args.option))
+
+    t0 = time.perf_counter()
+    result = run_experiment(args.experiment, **kwargs)
+    elapsed = time.perf_counter() - t0
+
+    if hasattr(result, "format"):
+        print(result.format())
+    else:  # pragma: no cover - all experiments define format()
+        print(result)
+
+    if args.csv:
+        grid = getattr(result, "grid", None)
+        source = grid if (grid is not None and hasattr(grid, "to_csv")) else result
+        if hasattr(source, "to_csv"):
+            with open(args.csv, "w", encoding="utf-8") as fh:
+                fh.write(source.to_csv())
+            print(f"[data written to {args.csv}]")
+        else:
+            print(
+                f"[--csv ignored: {args.experiment} exposes no tabular data]",
+                file=sys.stderr,
+            )
+
+    print(f"\n[{args.experiment} finished in {elapsed:.1f} s]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch a single base class.  Errors are
+grouped by subsystem: model construction, schedule validation, and solver
+failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A model, floorplan or parameter set was constructed inconsistently."""
+
+
+class FloorplanError(ConfigurationError):
+    """Invalid floorplan geometry (non-positive grid, bad core size, ...)."""
+
+
+class PowerModelError(ConfigurationError):
+    """Invalid power-model coefficients (negative gamma, non-convex psi, ...)."""
+
+
+class ThermalModelError(ConfigurationError):
+    """The RC thermal network is malformed (asymmetric G, non-positive C, ...)."""
+
+
+class ThermalRunawayError(ThermalModelError):
+    """Leakage feedback ``beta`` destabilizes the thermal system.
+
+    Raised when ``G - E_beta`` is not positive definite: the linearized
+    leakage gain exceeds the network's ability to remove heat, so no bounded
+    steady state exists and every schedule diverges.
+    """
+
+
+class ScheduleError(ReproError, ValueError):
+    """A periodic schedule is malformed (negative lengths, ragged modes, ...)."""
+
+
+class ModeError(ScheduleError):
+    """A requested voltage/frequency mode is not in the platform's ladder."""
+
+
+class SolverError(ReproError, RuntimeError):
+    """An optimization/search routine failed to produce a feasible answer."""
+
+
+class InfeasibleError(SolverError):
+    """No schedule satisfies the peak-temperature constraint.
+
+    Raised e.g. when even the all-lowest-mode (or all-idle) configuration
+    exceeds ``T_max``.
+    """
+
+
+class ConvergenceError(SolverError):
+    """An iterative routine exhausted its iteration budget before converging."""

@@ -1,0 +1,5 @@
+"""Experiment harness: regenerate every table and figure of the paper."""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]

@@ -1,0 +1,160 @@
+"""Shared machinery for the algorithm-comparison experiments (Figs. 6-7, Table V).
+
+Runs LNS / EXS / AO / PCO on a platform grid and collects throughput,
+feasibility and wall-clock time per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms import ao, exs, lns, pco
+from repro.algorithms.base import SchedulerResult
+from repro.errors import InfeasibleError
+from repro.platform import Platform, paper_platform
+
+__all__ = ["CellResult", "run_cell", "ComparisonGrid"]
+
+APPROACHES = ("LNS", "EXS", "AO", "PCO")
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """All four approaches on one (cores, levels, T_max) configuration."""
+
+    n_cores: int
+    n_levels: int
+    t_max_c: float
+    results: dict[str, SchedulerResult]
+
+    def throughput(self, name: str) -> float:
+        """Throughput of one approach (NaN if it was infeasible)."""
+        r = self.results.get(name)
+        return r.throughput if r is not None else float("nan")
+
+    def runtime(self, name: str) -> float:
+        """Wall-clock seconds of one approach."""
+        r = self.results.get(name)
+        return r.runtime_s if r is not None else float("nan")
+
+    def improvement(self, name: str, over: str = "EXS") -> float:
+        """Relative throughput improvement of ``name`` over ``over``."""
+        a, b = self.throughput(name), self.throughput(over)
+        if not np.isfinite(a) or not np.isfinite(b) or b == 0:
+            return float("nan")
+        return (a - b) / b
+
+
+def run_cell(
+    platform: Platform,
+    approaches: tuple[str, ...] = APPROACHES,
+    period: float = 0.02,
+    m_cap: int = 128,
+    m_step: int = 1,
+    shift_grid: int = 8,
+) -> CellResult:
+    """Run the selected approaches on one platform configuration.
+
+    An approach that raises :class:`~repro.errors.InfeasibleError` (no
+    feasible assignment at this threshold) is recorded as absent.
+    """
+    results: dict[str, SchedulerResult] = {}
+    for name in approaches:
+        try:
+            if name == "LNS":
+                results[name] = lns(platform, period=period)
+            elif name == "EXS":
+                results[name] = exs(platform)
+            elif name == "AO":
+                results[name] = ao(
+                    platform, period=period, m_cap=m_cap, m_step=m_step
+                )
+            elif name == "PCO":
+                results[name] = pco(
+                    platform, period=period, m_cap=m_cap, m_step=m_step,
+                    shift_grid=shift_grid,
+                )
+            else:
+                raise ValueError(f"unknown approach {name!r}")
+        except InfeasibleError:
+            pass
+    return CellResult(
+        n_cores=platform.n_cores,
+        n_levels=len(platform.ladder),
+        t_max_c=platform.t_max_c,
+        results=results,
+    )
+
+
+@dataclass(frozen=True)
+class ComparisonGrid:
+    """A collection of cells plus helpers over them."""
+
+    cells: tuple[CellResult, ...]
+
+    def find(self, n_cores: int, n_levels: int | None = None,
+             t_max_c: float | None = None) -> CellResult:
+        """Locate one cell by its coordinates."""
+        for c in self.cells:
+            if c.n_cores != n_cores:
+                continue
+            if n_levels is not None and c.n_levels != n_levels:
+                continue
+            if t_max_c is not None and abs(c.t_max_c - t_max_c) > 1e-9:
+                continue
+            return c
+        raise KeyError(
+            f"no cell for cores={n_cores}, levels={n_levels}, t_max={t_max_c}"
+        )
+
+    def improvements(self, name: str = "AO", over: str = "EXS") -> np.ndarray:
+        """Per-cell relative improvements of ``name`` over ``over``."""
+        vals = [c.improvement(name, over) for c in self.cells]
+        return np.asarray([v for v in vals if np.isfinite(v)])
+
+    def to_csv(self) -> str:
+        """CSV dump of the grid (one row per cell, throughput + runtime)."""
+        from repro.experiments.reporting import to_csv
+
+        headers = ["cores", "levels", "t_max_c"]
+        for name in APPROACHES:
+            headers += [f"thr_{name.lower()}", f"time_{name.lower()}_s"]
+        rows = []
+        for c in self.cells:
+            row: list = [c.n_cores, c.n_levels, c.t_max_c]
+            for name in APPROACHES:
+                row += [c.throughput(name), c.runtime(name)]
+            rows.append(row)
+        return to_csv(headers, rows)
+
+
+def build_grid(
+    core_counts=(2, 3, 6, 9),
+    level_counts=(2,),
+    t_max_values=(55.0,),
+    approaches: tuple[str, ...] = APPROACHES,
+    period: float = 0.02,
+    m_cap: int = 128,
+    m_step: int = 1,
+    shift_grid: int = 8,
+    tau: float = 5e-6,
+) -> ComparisonGrid:
+    """Run the comparison over a (cores x levels x T_max) grid."""
+    cells = []
+    for n in core_counts:
+        for lv in level_counts:
+            for tm in t_max_values:
+                platform = paper_platform(n, n_levels=lv, t_max_c=tm, tau=tau)
+                cells.append(
+                    run_cell(
+                        platform,
+                        approaches=approaches,
+                        period=period,
+                        m_cap=m_cap,
+                        m_step=m_step,
+                        shift_grid=shift_grid,
+                    )
+                )
+    return ComparisonGrid(cells=tuple(cells))

@@ -1,0 +1,80 @@
+"""Fig. 6 — throughput of LNS/EXS/AO/PCO vs core count and ladder size.
+
+T_max = 55 C; cores in {2, 3, 6, 9}; Table IV ladders with 2-5 levels.
+Expected shape (paper): AO and PCO always on top and nearly equal; the
+fewer the levels, the larger their margin over EXS/LNS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.comparison import APPROACHES, ComparisonGrid, build_grid
+from repro.experiments.reporting import ascii_table
+
+__all__ = ["Fig6Result", "fig6"]
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """The Fig. 6 grid."""
+
+    grid: ComparisonGrid
+    core_counts: tuple[int, ...]
+    level_counts: tuple[int, ...]
+    t_max_c: float
+
+    def format(self) -> str:
+        rows = []
+        for cell in self.grid.cells:
+            rows.append(
+                (
+                    cell.n_cores,
+                    cell.n_levels,
+                    cell.throughput("LNS"),
+                    cell.throughput("EXS"),
+                    cell.throughput("AO"),
+                    cell.throughput("PCO"),
+                    cell.improvement("AO", "EXS"),
+                )
+            )
+        table = ascii_table(
+            ["cores", "levels", "LNS", "EXS", "AO", "PCO", "AO/EXS-1"],
+            rows,
+            title=f"Fig. 6 — throughput comparison at T_max = {self.t_max_c:.0f} C",
+        )
+        imps = self.grid.improvements("AO", "EXS")
+        if imps.size:
+            table += (
+                f"\nAO over EXS: mean {imps.mean():+.1%}, max {imps.max():+.1%}"
+            )
+        return table
+
+
+def fig6(
+    core_counts: tuple[int, ...] = (2, 3, 6, 9),
+    level_counts: tuple[int, ...] = (2, 3, 4, 5),
+    t_max_c: float = 55.0,
+    approaches: tuple[str, ...] = APPROACHES,
+    period: float = 0.02,
+    m_cap: int = 128,
+    m_step: int = 1,
+    shift_grid: int = 8,
+) -> Fig6Result:
+    """Run the Fig. 6 sweep (pass smaller grids for quick checks)."""
+    grid = build_grid(
+        core_counts=core_counts,
+        level_counts=level_counts,
+        t_max_values=(t_max_c,),
+        approaches=approaches,
+        period=period,
+        m_cap=m_cap,
+        m_step=m_step,
+        shift_grid=shift_grid,
+    )
+    return Fig6Result(
+        grid=grid,
+        core_counts=tuple(core_counts),
+        level_counts=tuple(level_counts),
+        t_max_c=t_max_c,
+    )

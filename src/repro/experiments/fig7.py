@@ -1,0 +1,76 @@
+"""Fig. 7 — throughput vs temperature threshold (2-level ladder).
+
+T_max swept 50-65 C in 5 C steps, cores in {2, 3, 6, 9}, modes
+{0.6, 1.3} V.  Expected shape (paper): every approach's throughput grows
+with T_max, with AO/PCO on top throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.comparison import APPROACHES, ComparisonGrid, build_grid
+from repro.experiments.reporting import ascii_table
+
+__all__ = ["Fig7Result", "fig7"]
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """The Fig. 7 grid."""
+
+    grid: ComparisonGrid
+    core_counts: tuple[int, ...]
+    t_max_values: tuple[float, ...]
+
+    def format(self) -> str:
+        rows = []
+        for cell in self.grid.cells:
+            rows.append(
+                (
+                    cell.n_cores,
+                    cell.t_max_c,
+                    cell.throughput("LNS"),
+                    cell.throughput("EXS"),
+                    cell.throughput("AO"),
+                    cell.throughput("PCO"),
+                )
+            )
+        table = ascii_table(
+            ["cores", "T_max (C)", "LNS", "EXS", "AO", "PCO"],
+            rows,
+            title="Fig. 7 — throughput vs temperature threshold (2 voltage levels)",
+        )
+        imps = self.grid.improvements("AO", "EXS")
+        if imps.size:
+            table += (
+                f"\nAO over EXS: mean {imps.mean():+.1%}, max {imps.max():+.1%}"
+            )
+        return table
+
+
+def fig7(
+    core_counts: tuple[int, ...] = (2, 3, 6, 9),
+    t_max_values: tuple[float, ...] = (50.0, 55.0, 60.0, 65.0),
+    approaches: tuple[str, ...] = APPROACHES,
+    period: float = 0.02,
+    m_cap: int = 128,
+    m_step: int = 1,
+    shift_grid: int = 8,
+) -> Fig7Result:
+    """Run the Fig. 7 sweep."""
+    grid = build_grid(
+        core_counts=core_counts,
+        level_counts=(2,),
+        t_max_values=t_max_values,
+        approaches=approaches,
+        period=period,
+        m_cap=m_cap,
+        m_step=m_step,
+        shift_grid=shift_grid,
+    )
+    return Fig7Result(
+        grid=grid,
+        core_counts=tuple(core_counts),
+        t_max_values=tuple(t_max_values),
+    )

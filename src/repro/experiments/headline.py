@@ -1,0 +1,79 @@
+"""The abstract's headline claim: AO's improvement over EXS.
+
+"...improve the throughput up to 89%, with an average improvement of 11%"
+— aggregated over the evaluation grid.  We aggregate AO-vs-EXS relative
+improvements over the union of the Fig. 6 and Fig. 7 grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.comparison import ComparisonGrid, build_grid
+
+__all__ = ["HeadlineResult", "headline"]
+
+
+@dataclass(frozen=True)
+class HeadlineResult:
+    """Aggregate improvement statistics."""
+
+    improvements: np.ndarray  # per-cell AO/EXS - 1
+    mean_improvement: float
+    max_improvement: float
+
+    def format(self) -> str:
+        return "\n".join(
+            [
+                "Headline — AO throughput improvement over EXS",
+                f"cells aggregated: {self.improvements.size}",
+                f"mean improvement: {self.mean_improvement:+.1%} (paper: +11% average)",
+                f"max  improvement: {self.max_improvement:+.1%} (paper: up to +89%)",
+            ]
+        )
+
+
+def headline(
+    core_counts: tuple[int, ...] = (2, 3, 6, 9),
+    level_counts: tuple[int, ...] = (2, 3, 4, 5),
+    t_max_values: tuple[float, ...] = (50.0, 55.0, 60.0, 65.0),
+    period: float = 0.02,
+    m_cap: int = 128,
+    m_step: int = 1,
+) -> HeadlineResult:
+    """Aggregate AO-vs-EXS improvements over the evaluation grid.
+
+    The Fig. 6 grid (levels swept at 55 C) and Fig. 7 grid (T_max swept at
+    2 levels) are merged; AO and EXS run on every cell.
+    """
+    cells: list = []
+    fig6_grid = build_grid(
+        core_counts=core_counts,
+        level_counts=level_counts,
+        t_max_values=(55.0,),
+        approaches=("EXS", "AO"),
+        period=period,
+        m_cap=m_cap,
+        m_step=m_step,
+    )
+    cells.extend(fig6_grid.cells)
+    fig7_grid = build_grid(
+        core_counts=core_counts,
+        level_counts=(2,),
+        t_max_values=t_max_values,
+        approaches=("EXS", "AO"),
+        period=period,
+        m_cap=m_cap,
+        m_step=m_step,
+    )
+    cells.extend(fig7_grid.cells)
+
+    grid = ComparisonGrid(cells=tuple(cells))
+    imps = grid.improvements("AO", "EXS")
+    return HeadlineResult(
+        improvements=imps,
+        mean_improvement=float(imps.mean()) if imps.size else float("nan"),
+        max_improvement=float(imps.max()) if imps.size else float("nan"),
+    )

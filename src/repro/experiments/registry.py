@@ -1,0 +1,61 @@
+"""Experiment registry: artifact id -> callable.
+
+Each entry regenerates one table or figure of the paper (or an aggregate
+claim).  ``run_experiment(id, **kwargs)`` forwards keyword arguments to
+the experiment function — every experiment accepts scale-reducing
+parameters for quick runs (see each module's docstring).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.experiments.fig2 import fig2
+from repro.experiments.fig3 import fig3
+from repro.experiments.fig4 import fig4
+from repro.experiments.fig5 import fig5
+from repro.experiments.fig6 import fig6
+from repro.experiments.fig7 import fig7
+from repro.experiments.headline import headline
+from repro.experiments.motivation import table2, table3
+from repro.experiments.table5 import table5
+from repro.experiments.tsp_comparison import tsp_comparison
+from repro.experiments.reactive_comparison import reactive_comparison
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+
+EXPERIMENTS: dict[str, Callable] = {
+    "table2": table2,
+    "table3": table3,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "table5": table5,
+    "headline": headline,
+    "tsp": tsp_comparison,
+    "reactive": reactive_comparison,
+}
+
+
+def get_experiment(name: str) -> Callable:
+    """Look an experiment up by id.
+
+    Raises
+    ------
+    KeyError
+        With the list of known ids when the name is unknown.
+    """
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(name: str, **kwargs):
+    """Run an experiment by id and return its result object."""
+    return get_experiment(name)(**kwargs)

@@ -1,0 +1,52 @@
+"""Plain-text table formatting and CSV dumping for experiment outputs."""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Sequence
+
+__all__ = ["ascii_table", "to_csv"]
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+    float_fmt: str = "{:.4f}",
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Floats are formatted with ``float_fmt``; everything else with ``str``.
+    """
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def to_csv(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render rows as CSV text (for piping into plotting tools)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    return buf.getvalue()

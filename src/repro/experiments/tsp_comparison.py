@@ -1,0 +1,74 @@
+"""Extension experiment: TSP power budgeting vs direct thermal scheduling.
+
+The paper's introduction cites Pagani et al. [9] to argue that even
+temperature-aware *power* budgets (TSP) leave throughput on the table
+compared to scheduling the temperature constraint directly.  This
+experiment quantifies the claim on the calibrated substrate: for each
+chip, compare
+
+* the best TSP-governed operating point (budget per active-core count,
+  fastest discrete mode within budget),
+* EXS (direct thermal check, one mode per core),
+* AO (direct thermal scheduling with oscillation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms import ao, exs
+from repro.analysis.tsp import tsp_throughput
+from repro.experiments.reporting import ascii_table
+from repro.platform import paper_platform
+
+__all__ = ["TSPComparisonResult", "tsp_comparison"]
+
+
+@dataclass(frozen=True)
+class TSPComparisonResult:
+    """Throughput of TSP / EXS / AO across chips."""
+
+    rows: tuple[tuple[int, float, float, float], ...]  # (cores, tsp, exs, ao)
+
+    def format(self) -> str:
+        table_rows = []
+        for cores, tsp, exs_thr, ao_thr in self.rows:
+            table_rows.append(
+                (
+                    cores,
+                    tsp,
+                    exs_thr,
+                    ao_thr,
+                    (ao_thr - tsp) / tsp if tsp > 0 else float("nan"),
+                )
+            )
+        return ascii_table(
+            ["cores", "TSP budget", "EXS", "AO", "AO/TSP-1"],
+            table_rows,
+            title=(
+                "TSP power budgeting vs direct thermal scheduling "
+                "(2-level ladder)"
+            ),
+        )
+
+    @property
+    def ao_always_wins(self) -> bool:
+        """Does direct scheduling dominate the power budget everywhere?"""
+        return all(ao_thr >= tsp - 1e-9 for _, tsp, _, ao_thr in self.rows)
+
+
+def tsp_comparison(
+    core_counts: tuple[int, ...] = (2, 3, 6, 9),
+    n_levels: int = 2,
+    t_max_c: float = 55.0,
+    m_cap: int = 64,
+) -> TSPComparisonResult:
+    """Run the TSP-vs-AO comparison over the evaluation chips."""
+    rows = []
+    for n in core_counts:
+        platform = paper_platform(n, n_levels=n_levels, t_max_c=t_max_c)
+        tsp = tsp_throughput(platform)
+        exs_thr = exs(platform).throughput
+        ao_thr = ao(platform, m_cap=m_cap).throughput
+        rows.append((n, float(tsp), float(exs_thr), float(ao_thr)))
+    return TSPComparisonResult(rows=tuple(rows))

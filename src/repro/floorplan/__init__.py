@@ -1,0 +1,25 @@
+"""Floorplans: core placement grids and adjacency for the RC generator."""
+
+from repro.floorplan.layout import CoreGeometry, Floorplan, grid_floorplan
+from repro.floorplan.stack3d import Stack3D
+from repro.floorplan.library import (
+    PAPER_CONFIGS,
+    paper_floorplan,
+    floorplan_2x1,
+    floorplan_3x1,
+    floorplan_3x2,
+    floorplan_3x3,
+)
+
+__all__ = [
+    "CoreGeometry",
+    "Floorplan",
+    "Stack3D",
+    "grid_floorplan",
+    "PAPER_CONFIGS",
+    "paper_floorplan",
+    "floorplan_2x1",
+    "floorplan_3x1",
+    "floorplan_3x2",
+    "floorplan_3x3",
+]

@@ -1,0 +1,66 @@
+"""The multi-core configurations evaluated in the paper.
+
+Section VI uses 2x1, 3x1, 3x2 and 3x3 layouts with 4 mm x 4 mm cores.
+``paper_floorplan(n_cores)`` maps a core count from the figures (2, 3, 6, 9)
+to the corresponding layout.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FloorplanError
+from repro.floorplan.layout import Floorplan, grid_floorplan
+
+__all__ = [
+    "PAPER_CONFIGS",
+    "paper_floorplan",
+    "floorplan_2x1",
+    "floorplan_3x1",
+    "floorplan_3x2",
+    "floorplan_3x3",
+]
+
+#: Core count -> (rows, cols) as used in the paper's evaluation.
+PAPER_CONFIGS: dict[int, tuple[int, int]] = {
+    2: (1, 2),
+    3: (1, 3),
+    6: (2, 3),
+    9: (3, 3),
+}
+
+
+def floorplan_2x1() -> Floorplan:
+    """The paper's 2-core layout (a 1x2 row of 4 mm tiles)."""
+    return grid_floorplan(1, 2)
+
+
+def floorplan_3x1() -> Floorplan:
+    """The paper's 3-core layout (a 1x3 row; the middle core has 2 neighbours)."""
+    return grid_floorplan(1, 3)
+
+
+def floorplan_3x2() -> Floorplan:
+    """The paper's 6-core layout (2 rows x 3 columns)."""
+    return grid_floorplan(2, 3)
+
+
+def floorplan_3x3() -> Floorplan:
+    """The paper's 9-core layout (3x3; the center core has 4 neighbours)."""
+    return grid_floorplan(3, 3)
+
+
+def paper_floorplan(n_cores: int) -> Floorplan:
+    """Return the layout the paper uses for the given core count.
+
+    Raises
+    ------
+    FloorplanError
+        If ``n_cores`` is not one of the evaluated counts (2, 3, 6, 9).
+    """
+    try:
+        rows, cols = PAPER_CONFIGS[n_cores]
+    except KeyError:
+        raise FloorplanError(
+            f"the paper evaluates 2/3/6/9 cores, got {n_cores}; "
+            "use grid_floorplan(rows, cols) for custom layouts"
+        ) from None
+    return grid_floorplan(rows, cols)

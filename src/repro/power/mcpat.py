@@ -1,0 +1,55 @@
+"""Synthetic McPAT-like power coefficient tables.
+
+The paper abstracts its power parameters from the McPAT simulator [36] at a
+65 nm technology node but does not publish the raw values.  McPAT itself is
+a closed C++ tool; as a substitution we ship per-technology coefficient
+tables with the magnitudes McPAT reports for high-performance OoO cores
+(total per-core power ~10-20 W at nominal voltage, ~30 % leakage at 65 nm),
+scaled across nodes by standard Dennard-breakdown trends:
+
+* dynamic power per core shrinks with the square of feature size times
+  frequency gains (we fold both into ``gamma``),
+* the leakage fraction grows as technology shrinks,
+* the leakage temperature sensitivity ``beta`` grows with leakage share.
+
+Only the 65 nm entry is used to reproduce the paper; the rest exist so the
+library is usable as a general tool and to exercise the scaling path.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PowerModelError
+from repro.power.model import PowerModel
+
+__all__ = ["TECHNOLOGY_TABLES", "mcpat_like_power_model"]
+
+#: technology node (nm) -> PowerModel coefficient kwargs.
+#: The 65 nm row is further refined by thermal calibration
+#: (see :mod:`repro.thermal.calibration`); these are the raw McPAT-like
+#: magnitudes before calibration.
+TECHNOLOGY_TABLES: dict[int, dict[str, float]] = {
+    90: {"alpha_lin": 0.07, "gamma": 5.75, "beta": 0.06, "v_min": 0.7, "v_max": 1.4},
+    65: {"alpha_lin": 0.10, "gamma": 5.00, "beta": 0.10, "v_min": 0.6, "v_max": 1.3},
+    45: {"alpha_lin": 0.14, "gamma": 4.25, "beta": 0.14, "v_min": 0.55, "v_max": 1.2},
+    32: {"alpha_lin": 0.18, "gamma": 3.55, "beta": 0.18, "v_min": 0.5, "v_max": 1.1},
+    22: {"alpha_lin": 0.22, "gamma": 2.90, "beta": 0.22, "v_min": 0.45, "v_max": 1.0},
+}
+
+
+def mcpat_like_power_model(technology_nm: int = 65) -> PowerModel:
+    """Build a :class:`PowerModel` from the synthetic McPAT-like tables.
+
+    Parameters
+    ----------
+    technology_nm:
+        One of the tabulated nodes (90, 65, 45, 32, 22).  The paper's
+        evaluation uses 65 nm.
+    """
+    try:
+        kwargs = TECHNOLOGY_TABLES[technology_nm]
+    except KeyError:
+        known = sorted(TECHNOLOGY_TABLES)
+        raise PowerModelError(
+            f"no coefficient table for {technology_nm} nm; available: {known}"
+        ) from None
+    return PowerModel(**kwargs)

@@ -1,0 +1,262 @@
+"""Schedule constructors.
+
+The central builder is :func:`from_core_timelines`: given each core's
+private (length, voltage) sequence over a common period, take the union of
+all switch instants and emit one state interval per gap — the canonical
+state-interval representation the thermal solvers consume.
+
+On top of it we provide the shapes the paper uses:
+
+* :func:`constant_schedule` — one mode per core (the EXS/LNS world),
+* :func:`two_mode_schedule` — per-core low-then-high pairs (the step-up
+  building block of AO),
+* :func:`phase_schedule` — per-core high intervals placed at chosen start
+  offsets (Fig. 3's ``x_i`` sweep, PCO's shifts),
+* :func:`random_schedule` / :func:`random_stepup_schedule` — workload
+  generators for the property tests and Figs. 4-5.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.schedule.intervals import MIN_INTERVAL, CoreSegment, StateInterval
+from repro.schedule.periodic import PeriodicSchedule
+
+__all__ = [
+    "from_core_timelines",
+    "constant_schedule",
+    "two_mode_schedule",
+    "phase_schedule",
+    "random_schedule",
+    "random_stepup_schedule",
+]
+
+
+def _coerce_timeline(timeline) -> list[CoreSegment]:
+    segs = []
+    for item in timeline:
+        if isinstance(item, CoreSegment):
+            segs.append(item)
+        else:
+            length, voltage = item
+            segs.append(CoreSegment(length=float(length), voltage=float(voltage)))
+    if not segs:
+        raise ScheduleError("each core timeline needs at least one segment")
+    return segs
+
+
+def from_core_timelines(
+    timelines: Sequence[Sequence],
+    atol: float = 1e-9,
+) -> PeriodicSchedule:
+    """Combine per-core timelines into a state-interval schedule.
+
+    Parameters
+    ----------
+    timelines:
+        One sequence per core of ``CoreSegment`` or ``(length, voltage)``
+        pairs.  All cores must cover the same total period (within
+        ``atol`` relative tolerance); tiny rounding drift is absorbed by
+        stretching the final segment.
+    """
+    if not timelines:
+        raise ScheduleError("need at least one core timeline")
+    per_core = [_coerce_timeline(t) for t in timelines]
+    periods = [sum(s.length for s in segs) for segs in per_core]
+    period = periods[0]
+    for i, p in enumerate(periods[1:], start=1):
+        if abs(p - period) > atol * max(period, 1.0):
+            raise ScheduleError(
+                f"core {i} period {p} != core 0 period {period}"
+            )
+
+    # Union of all switch instants.
+    cuts = {0.0, period}
+    for segs in per_core:
+        t = 0.0
+        for seg in segs[:-1]:
+            t += seg.length
+            cuts.add(min(t, period))
+    grid = np.array(sorted(cuts))
+    # Drop numerically-duplicate cuts.
+    keep = np.concatenate([[True], np.diff(grid) > MIN_INTERVAL])
+    grid = grid[keep]
+    if grid[-1] < period - MIN_INTERVAL:
+        grid = np.append(grid, period)
+
+    # Voltage of each core within each gap.
+    intervals = []
+    mids = 0.5 * (grid[:-1] + grid[1:])
+    core_volts = np.empty((len(mids), len(per_core)))
+    for c, segs in enumerate(per_core):
+        ends = np.cumsum([s.length for s in segs])
+        ends[-1] = period  # absorb rounding drift
+        idx = np.searchsorted(ends, mids, side="left")
+        idx = np.clip(idx, 0, len(segs) - 1)
+        core_volts[:, c] = [segs[k].voltage for k in idx]
+    for q in range(len(mids)):
+        intervals.append(
+            StateInterval(length=float(grid[q + 1] - grid[q]), voltages=tuple(core_volts[q]))
+        )
+    return PeriodicSchedule(tuple(intervals))
+
+
+def constant_schedule(voltages, period: float = 1.0) -> PeriodicSchedule:
+    """Single state interval: every core at a constant mode."""
+    return PeriodicSchedule(
+        (StateInterval(length=float(period), voltages=tuple(float(v) for v in voltages)),)
+    )
+
+
+def two_mode_schedule(
+    v_low,
+    v_high,
+    high_ratio,
+    period: float,
+    high_first: bool = False,
+) -> PeriodicSchedule:
+    """Per-core two-mode schedule: low for ``(1-r)t_p`` then high for ``r t_p``.
+
+    This is the step-up building block of AO: with ``high_first=False``
+    every core's voltage is non-decreasing over the period, so the result
+    is a step-up schedule regardless of per-core ratios.
+
+    Parameters
+    ----------
+    v_low, v_high:
+        Per-core arrays (or scalars) of the two modes.  Where
+        ``v_low == v_high`` or the ratio is 0/1 the core degenerates to a
+        constant mode.
+    high_ratio:
+        Per-core array (or scalar) in [0, 1]: fraction of the period spent
+        at ``v_high``.
+    period:
+        Schedule period ``t_p`` in seconds.
+    """
+    v_low = np.atleast_1d(np.asarray(v_low, dtype=float))
+    v_high = np.atleast_1d(np.asarray(v_high, dtype=float))
+    ratio = np.atleast_1d(np.asarray(high_ratio, dtype=float))
+    n = max(v_low.size, v_high.size, ratio.size)
+    v_low, v_high, ratio = (
+        np.broadcast_to(v_low, n).astype(float),
+        np.broadcast_to(v_high, n).astype(float),
+        np.broadcast_to(ratio, n).astype(float),
+    )
+    if np.any((ratio < -1e-12) | (ratio > 1 + 1e-12)):
+        raise ScheduleError(f"high_ratio must be within [0, 1], got {ratio}")
+    if np.any(v_high < v_low):
+        raise ScheduleError("two_mode_schedule requires v_high >= v_low per core")
+    ratio = np.clip(ratio, 0.0, 1.0)
+    if period <= 0:
+        raise ScheduleError(f"period must be > 0, got {period}")
+
+    timelines = []
+    for c in range(n):
+        t_high = ratio[c] * period
+        t_low = period - t_high
+        segs: list[tuple[float, float]] = []
+        first = (t_high, v_high[c]) if high_first else (t_low, v_low[c])
+        second = (t_low, v_low[c]) if high_first else (t_high, v_high[c])
+        for length, v in (first, second):
+            if length >= MIN_INTERVAL:
+                segs.append((length, v))
+        if not segs:  # degenerate: zero-length everything cannot happen (period > 0)
+            segs.append((period, v_low[c]))
+        timelines.append(segs)
+    return from_core_timelines(timelines)
+
+
+def phase_schedule(
+    v_low,
+    v_high,
+    high_length,
+    high_start,
+    period: float,
+) -> PeriodicSchedule:
+    """Per-core schedules with the high-voltage burst at a chosen offset.
+
+    Core ``c`` runs ``v_low[c]`` except during
+    ``[high_start[c], high_start[c] + high_length[c])`` (wrapped around the
+    period), where it runs ``v_high[c]``.  This is exactly the family swept
+    in Fig. 3 and searched by PCO.
+    """
+    v_low = np.atleast_1d(np.asarray(v_low, dtype=float))
+    v_high = np.atleast_1d(np.asarray(v_high, dtype=float))
+    h_len = np.atleast_1d(np.asarray(high_length, dtype=float))
+    h_start = np.atleast_1d(np.asarray(high_start, dtype=float))
+    n = max(v_low.size, v_high.size, h_len.size, h_start.size)
+    v_low = np.broadcast_to(v_low, n).astype(float)
+    v_high = np.broadcast_to(v_high, n).astype(float)
+    h_len = np.broadcast_to(h_len, n).astype(float)
+    h_start = np.broadcast_to(h_start, n).astype(float)
+    if period <= 0:
+        raise ScheduleError(f"period must be > 0, got {period}")
+    if np.any((h_len < 0) | (h_len > period + 1e-12)):
+        raise ScheduleError("high_length must lie in [0, period]")
+
+    timelines = []
+    for c in range(n):
+        start = float(h_start[c]) % period
+        length = min(float(h_len[c]), period)
+        segs: list[tuple[float, float]] = []
+        if length < MIN_INTERVAL:
+            segs = [(period, v_low[c])]
+        elif length > period - MIN_INTERVAL:
+            segs = [(period, v_high[c])]
+        else:
+            end = start + length
+            if end <= period + MIN_INTERVAL:
+                end = min(end, period)
+                if start >= MIN_INTERVAL:
+                    segs.append((start, v_low[c]))
+                segs.append((end - start, v_high[c]))
+                if period - end >= MIN_INTERVAL:
+                    segs.append((period - end, v_low[c]))
+            else:  # wraps around the period end
+                wrap = end - period
+                segs.append((wrap, v_high[c]))
+                segs.append((start - wrap, v_low[c]))
+                segs.append((period - start, v_high[c]))
+        timelines.append(segs)
+    return from_core_timelines(timelines)
+
+
+def random_schedule(
+    n_cores: int,
+    rng: np.random.Generator,
+    levels: Sequence[float] = (0.6, 0.8, 1.0, 1.2, 1.3),
+    max_segments: int = 4,
+    period: float | None = None,
+) -> PeriodicSchedule:
+    """Random periodic schedule (workload generator for property tests)."""
+    if n_cores < 1 or max_segments < 1:
+        raise ScheduleError("need n_cores >= 1 and max_segments >= 1")
+    if period is None:
+        period = float(rng.uniform(0.05, 10.0))
+    timelines = []
+    for _ in range(n_cores):
+        k = int(rng.integers(1, max_segments + 1))
+        weights = rng.dirichlet(np.ones(k))
+        weights = np.maximum(weights, 1e-3)
+        weights /= weights.sum()
+        volts = rng.choice(np.asarray(levels, dtype=float), size=k)
+        timelines.append([(float(w * period), float(v)) for w, v in zip(weights, volts)])
+    return from_core_timelines(timelines)
+
+
+def random_stepup_schedule(
+    n_cores: int,
+    rng: np.random.Generator,
+    levels: Sequence[float] = (0.6, 0.8, 1.0, 1.2, 1.3),
+    max_segments: int = 4,
+    period: float | None = None,
+) -> PeriodicSchedule:
+    """Random *step-up* schedule: per-core voltages sorted non-decreasing."""
+    sched = random_schedule(n_cores, rng, levels=levels, max_segments=max_segments, period=period)
+    from repro.schedule.transforms import step_up
+
+    return step_up(sched)

@@ -1,0 +1,179 @@
+"""The periodic multi-core schedule ``S(t)`` of the paper.
+
+A :class:`PeriodicSchedule` is an ordered sequence of
+:class:`~repro.schedule.intervals.StateInterval` objects, repeated forever.
+It offers both views the paper works with:
+
+* the *state-interval* view (``lengths``, ``voltage_matrix``) used by the
+  thermal solvers, and
+* the *per-core timeline* view (``core_timeline``) used by the step-up
+  reordering (Definition 2) and the phase shifts of PCO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.schedule.intervals import MIN_INTERVAL, CoreSegment, StateInterval
+
+__all__ = ["PeriodicSchedule"]
+
+
+@dataclass(frozen=True)
+class PeriodicSchedule:
+    """An immutable periodic schedule over N cores.
+
+    Attributes
+    ----------
+    intervals:
+        Tuple of state intervals, all with the same core count.
+    """
+
+    intervals: tuple[StateInterval, ...]
+
+    def __post_init__(self) -> None:
+        ivs = tuple(self.intervals)
+        if len(ivs) == 0:
+            raise ScheduleError("a schedule needs at least one state interval")
+        n = ivs[0].n_cores
+        for q, iv in enumerate(ivs):
+            if iv.n_cores != n:
+                raise ScheduleError(
+                    f"interval {q} has {iv.n_cores} cores, expected {n}"
+                )
+        object.__setattr__(self, "intervals", ivs)
+
+    # ------------------------------------------------------------------
+    # shape
+    # ------------------------------------------------------------------
+
+    @property
+    def n_cores(self) -> int:
+        """Number of cores."""
+        return self.intervals[0].n_cores
+
+    @property
+    def n_intervals(self) -> int:
+        """Number of state intervals ``z``."""
+        return len(self.intervals)
+
+    @property
+    def period(self) -> float:
+        """Schedule period ``t_p`` in seconds."""
+        return float(sum(iv.length for iv in self.intervals))
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """``(z,)`` interval durations."""
+        return np.array([iv.length for iv in self.intervals])
+
+    @property
+    def voltage_matrix(self) -> np.ndarray:
+        """``(z, n_cores)`` voltage of each core in each state interval."""
+        return np.array([iv.voltages for iv in self.intervals])
+
+    @property
+    def boundaries(self) -> np.ndarray:
+        """``(z + 1,)`` cumulative scheduling points ``t_0=0 .. t_z=t_p``."""
+        return np.concatenate([[0.0], np.cumsum(self.lengths)])
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+
+    def core_timeline(self, core: int, merge: bool = True) -> list[CoreSegment]:
+        """Per-core view: the sequence of (length, voltage) segments.
+
+        With ``merge`` (default) consecutive segments at the same voltage
+        are coalesced, which is the natural per-core decomposition the
+        paper's Definition 2 reorders.
+        """
+        if not (0 <= core < self.n_cores):
+            raise ScheduleError(f"core {core} out of range [0, {self.n_cores})")
+        segs: list[CoreSegment] = []
+        for iv in self.intervals:
+            v = iv.voltages[core]
+            if merge and segs and abs(segs[-1].voltage - v) < 1e-12:
+                segs[-1] = CoreSegment(length=segs[-1].length + iv.length, voltage=v)
+            else:
+                segs.append(CoreSegment(length=iv.length, voltage=v))
+        return segs
+
+    def voltage_at(self, t: float) -> np.ndarray:
+        """Voltage vector in effect at time ``t`` (wrapped into the period)."""
+        period = self.period
+        t = float(t) % period
+        bounds = self.boundaries
+        q = int(np.searchsorted(bounds, t, side="right") - 1)
+        q = min(q, self.n_intervals - 1)
+        return np.asarray(self.intervals[q].voltages)
+
+    # ------------------------------------------------------------------
+    # edits (return new schedules)
+    # ------------------------------------------------------------------
+
+    def with_interval(self, q: int, interval: StateInterval) -> "PeriodicSchedule":
+        """Copy with state interval ``q`` replaced."""
+        if not (0 <= q < self.n_intervals):
+            raise ScheduleError(f"interval {q} out of range [0, {self.n_intervals})")
+        if interval.n_cores != self.n_cores:
+            raise ScheduleError(
+                f"replacement has {interval.n_cores} cores, expected {self.n_cores}"
+            )
+        ivs = list(self.intervals)
+        ivs[q] = interval
+        return PeriodicSchedule(tuple(ivs))
+
+    def scaled(self, factor: float) -> "PeriodicSchedule":
+        """Copy with every interval length multiplied by ``factor``."""
+        if factor <= 0:
+            raise ScheduleError(f"scale factor must be > 0, got {factor}")
+        return PeriodicSchedule(
+            tuple(iv.with_length(iv.length * factor) for iv in self.intervals)
+        )
+
+    def rotated(self, offset: float) -> "PeriodicSchedule":
+        """Copy with the whole schedule cyclically shifted by ``offset`` s.
+
+        Rotation does not change the stable-status peak temperature (it
+        relabels the period start) but is useful for aligning comparisons.
+        """
+        from repro.schedule.builders import from_core_timelines
+
+        period = self.period
+        offset = float(offset) % period
+        if offset < MIN_INTERVAL:
+            return self
+        timelines = []
+        for core in range(self.n_cores):
+            timelines.append(_rotate_segments(self.core_timeline(core, merge=False), offset))
+        return from_core_timelines(timelines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PeriodicSchedule(z={self.n_intervals}, n_cores={self.n_cores}, "
+            f"period={self.period:.6g}s)"
+        )
+
+
+def _rotate_segments(segs: list[CoreSegment], offset: float) -> list[CoreSegment]:
+    """Cyclically shift a per-core timeline *later* by ``offset`` seconds."""
+    period = sum(s.length for s in segs)
+    offset = offset % period
+    cut = period - offset  # old-time instant that becomes the new period start
+    head: list[CoreSegment] = []  # old content in [0, cut): plays second
+    tail: list[CoreSegment] = []  # old content in [cut, period): plays first
+    t = 0.0
+    for seg in segs:
+        start, end = t, t + seg.length
+        before = min(end, cut) - start
+        if before >= MIN_INTERVAL:
+            head.append(CoreSegment(length=before, voltage=seg.voltage))
+        after = end - max(start, cut)
+        if after >= MIN_INTERVAL:
+            tail.append(CoreSegment(length=after, voltage=seg.voltage))
+        t = end
+    return tail + head

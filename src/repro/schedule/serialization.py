@@ -1,0 +1,134 @@
+"""JSON (de)serialization of schedules and scheduler results.
+
+A governor computed offline must ship its schedule to the machine that
+executes it; this module provides a stable, versioned JSON wire format for
+:class:`~repro.schedule.periodic.PeriodicSchedule` and
+:class:`~repro.algorithms.base.SchedulerResult`.
+
+The format is intentionally dumb — explicit interval lists, no pickling —
+so non-Python consumers (a kernel governor, a C runtime) can parse it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.algorithms.base import SchedulerResult
+from repro.errors import ScheduleError
+from repro.schedule.intervals import StateInterval
+from repro.schedule.periodic import PeriodicSchedule
+
+__all__ = [
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "schedule_to_json",
+    "schedule_from_json",
+    "result_to_dict",
+]
+
+FORMAT_VERSION = 1
+
+
+def schedule_to_dict(schedule: PeriodicSchedule) -> dict[str, Any]:
+    """Plain-dict form of a schedule (JSON-ready)."""
+    return {
+        "format": "repro.schedule",
+        "version": FORMAT_VERSION,
+        "n_cores": schedule.n_cores,
+        "period_s": schedule.period,
+        "intervals": [
+            {"length_s": iv.length, "voltages": list(iv.voltages)}
+            for iv in schedule.intervals
+        ],
+    }
+
+
+def schedule_from_dict(data: dict[str, Any]) -> PeriodicSchedule:
+    """Rebuild a schedule from its plain-dict form.
+
+    Raises
+    ------
+    ScheduleError
+        On format/version mismatch or malformed interval data.
+    """
+    if data.get("format") != "repro.schedule":
+        raise ScheduleError(f"not a repro schedule document: {data.get('format')!r}")
+    if data.get("version") != FORMAT_VERSION:
+        raise ScheduleError(
+            f"unsupported schedule format version {data.get('version')!r} "
+            f"(this library reads version {FORMAT_VERSION})"
+        )
+    try:
+        intervals = tuple(
+            StateInterval(
+                length=float(item["length_s"]),
+                voltages=tuple(float(v) for v in item["voltages"]),
+            )
+            for item in data["intervals"]
+        )
+    except (KeyError, TypeError) as exc:
+        raise ScheduleError(f"malformed schedule document: {exc}") from exc
+    schedule = PeriodicSchedule(intervals)
+    declared = data.get("n_cores")
+    if declared is not None and declared != schedule.n_cores:
+        raise ScheduleError(
+            f"document declares {declared} cores but intervals have "
+            f"{schedule.n_cores}"
+        )
+    return schedule
+
+
+def schedule_to_json(schedule: PeriodicSchedule, indent: int | None = None) -> str:
+    """Serialize a schedule to a JSON string."""
+    return json.dumps(schedule_to_dict(schedule), indent=indent)
+
+
+def schedule_from_json(text: str) -> PeriodicSchedule:
+    """Parse a schedule from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ScheduleError(f"invalid JSON: {exc}") from exc
+    return schedule_from_dict(data)
+
+
+def _jsonable(value):
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def result_to_dict(result: SchedulerResult) -> dict[str, Any]:
+    """Plain-dict form of a scheduler result (schedule + metrics + details).
+
+    Detail entries are converted to JSON-safe types; entries that still
+    resist conversion are stringified rather than dropped.
+    """
+    details = {}
+    for key, value in result.details.items():
+        converted = _jsonable(value)
+        try:
+            json.dumps(converted)
+        except (TypeError, ValueError):
+            converted = str(value)
+        details[key] = converted
+    return {
+        "format": "repro.result",
+        "version": FORMAT_VERSION,
+        "name": result.name,
+        "throughput": result.throughput,
+        "peak_theta": result.peak_theta,
+        "feasible": result.feasible,
+        "runtime_s": result.runtime_s,
+        "schedule": schedule_to_dict(result.schedule),
+        "details": details,
+    }

@@ -1,0 +1,112 @@
+"""Schedule transforms: step-up reordering, m-oscillation, phase shifts.
+
+* :func:`step_up` implements Definition 2 — per core, reorder its segments
+  by non-decreasing voltage, then recombine.  Theorem 2 guarantees the
+  result's stable-status peak upper-bounds the original's.
+* :func:`m_oscillate` implements Definition 3 — compress every state
+  interval by ``m`` (when the compressed pattern is repeated periodically
+  this is exactly "divide each interval into m and interleave").
+  Theorem 5: the peak temperature is non-increasing in ``m``.
+* :func:`m_oscillate_core` oscillates a *single* core (the Fig. 2
+  counterexample: this may *raise* the peak).
+* :func:`shift_core` cyclically shifts one core's timeline (PCO's move).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScheduleError
+from repro.schedule.builders import from_core_timelines
+from repro.schedule.intervals import CoreSegment, StateInterval
+from repro.schedule.periodic import PeriodicSchedule, _rotate_segments
+
+__all__ = [
+    "step_up",
+    "m_oscillate",
+    "m_oscillate_core",
+    "shift_core",
+    "merge_adjacent",
+]
+
+
+def step_up(schedule: PeriodicSchedule) -> PeriodicSchedule:
+    """The corresponding step-up schedule ``S_u(t)`` (Definition 2).
+
+    Each core's segments are sorted by non-decreasing voltage
+    (stable sort: equal-voltage segments keep their relative order),
+    independently per core; the per-core timelines are then recombined
+    into state intervals.
+    """
+    timelines = []
+    for core in range(schedule.n_cores):
+        segs = schedule.core_timeline(core, merge=True)
+        segs = sorted(segs, key=lambda s: s.voltage)
+        timelines.append(segs)
+    return from_core_timelines(timelines)
+
+
+def m_oscillate(schedule: PeriodicSchedule, m: int) -> PeriodicSchedule:
+    """The m-oscillating schedule ``S(m, t)`` (Definition 3).
+
+    Every state interval's length is scaled down by ``m`` with voltages
+    unchanged.  Repeating the result periodically is equivalent to
+    repeating the compressed pattern ``m`` times inside the original
+    period, which is how the paper phrases it.
+    """
+    if m < 1 or int(m) != m:
+        raise ScheduleError(f"m must be a positive integer, got {m}")
+    if m == 1:
+        return schedule
+    return schedule.scaled(1.0 / int(m))
+
+
+def m_oscillate_core(schedule: PeriodicSchedule, core: int, m: int) -> PeriodicSchedule:
+    """Oscillate only one core ``m`` times faster (Fig. 2's experiment).
+
+    The chosen core's timeline is compressed by ``m`` and repeated ``m``
+    times within the unchanged period; all other cores keep their
+    schedules.  The paper shows this does **not** necessarily reduce the
+    peak temperature — only chip-wide oscillation (Theorem 5) does.
+    """
+    if m < 1 or int(m) != m:
+        raise ScheduleError(f"m must be a positive integer, got {m}")
+    if not (0 <= core < schedule.n_cores):
+        raise ScheduleError(f"core {core} out of range [0, {schedule.n_cores})")
+    m = int(m)
+    timelines = []
+    for c in range(schedule.n_cores):
+        segs = schedule.core_timeline(c, merge=True)
+        if c == core and m > 1:
+            cycle = [CoreSegment(length=s.length / m, voltage=s.voltage) for s in segs]
+            segs = cycle * m
+        timelines.append(segs)
+    return from_core_timelines(timelines)
+
+
+def shift_core(schedule: PeriodicSchedule, core: int, offset: float) -> PeriodicSchedule:
+    """Cyclically shift one core's timeline *later* by ``offset`` seconds.
+
+    Used by PCO to interleave high-power phases across cores spatially.
+    The per-core workload (and hence throughput) is unchanged.
+    """
+    if not (0 <= core < schedule.n_cores):
+        raise ScheduleError(f"core {core} out of range [0, {schedule.n_cores})")
+    timelines = []
+    for c in range(schedule.n_cores):
+        segs = schedule.core_timeline(c, merge=False)
+        if c == core:
+            segs = _rotate_segments(segs, float(offset))
+        timelines.append(segs)
+    return from_core_timelines(timelines)
+
+
+def merge_adjacent(schedule: PeriodicSchedule) -> PeriodicSchedule:
+    """Coalesce consecutive state intervals with identical voltage vectors."""
+    merged: list[StateInterval] = []
+    for iv in schedule.intervals:
+        if merged and merged[-1].voltages == iv.voltages:
+            merged[-1] = StateInterval(
+                length=merged[-1].length + iv.length, voltages=iv.voltages
+            )
+        else:
+            merged.append(iv)
+    return PeriodicSchedule(tuple(merged))

@@ -1,0 +1,5 @@
+"""Co-simulation: tasks (EDF) and temperature executed together."""
+
+from repro.sim.engine import CoSimReport, cosimulate
+
+__all__ = ["CoSimReport", "cosimulate"]

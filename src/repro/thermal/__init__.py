@@ -1,0 +1,35 @@
+"""Thermal substrate: RC networks, transient/periodic solvers, peak search."""
+
+from repro.thermal.params import RCParams
+from repro.thermal.rc import RCNetwork, build_rc_network, build_single_layer_network
+from repro.thermal.stack3d import build_3d_network
+from repro.thermal.model import ThermalModel
+from repro.thermal.matex import IntervalSolution, interval_solution, interval_peak
+from repro.thermal.transient import simulate_piecewise, TraceResult
+from repro.thermal.periodic import (
+    PeriodicSolution,
+    periodic_steady_state,
+    stable_trace,
+)
+from repro.thermal.peak import peak_temperature, stepup_peak_temperature
+from repro.thermal.reference import reference_simulate
+
+__all__ = [
+    "RCParams",
+    "RCNetwork",
+    "build_rc_network",
+    "build_single_layer_network",
+    "build_3d_network",
+    "ThermalModel",
+    "IntervalSolution",
+    "interval_solution",
+    "interval_peak",
+    "simulate_piecewise",
+    "TraceResult",
+    "PeriodicSolution",
+    "periodic_steady_state",
+    "stable_trace",
+    "peak_temperature",
+    "stepup_peak_temperature",
+    "reference_simulate",
+]

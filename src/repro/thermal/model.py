@@ -1,0 +1,230 @@
+"""The linear thermal model of eq. (2): ``dT/dt = A T + B(v)``.
+
+:class:`ThermalModel` binds an :class:`~repro.thermal.rc.RCNetwork` to a
+:class:`~repro.power.model.PowerModel`:
+
+* the leakage feedback ``beta * theta`` on core nodes is folded into the
+  system matrix — ``A = -C^{-1} (G - E_beta)`` stays constant across
+  running modes exactly as the paper assumes,
+* ``B(v) = C^{-1} Psi(v)`` changes per state interval with the voltage
+  vector.
+
+Construction verifies that ``G - E_beta`` remains positive definite;
+otherwise leakage self-heating has no bounded fixed point and
+:class:`~repro.errors.ThermalRunawayError` is raised.
+
+All temperatures are *normalized to ambient* (theta, in K above ambient).
+Use :meth:`ThermalModel.to_celsius` for display.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+import scipy.linalg
+
+from repro.errors import ThermalModelError, ThermalRunawayError
+from repro.power.model import PowerModel
+from repro.thermal.rc import RCNetwork
+from repro.util.linalg import EigenExpm, is_positive_definite, solve_linear
+from repro.util.validation import as_1d_float
+
+__all__ = ["ThermalModel"]
+
+
+class ThermalModel:
+    """Constant-A linear thermal model of a multi-core platform.
+
+    Parameters
+    ----------
+    network:
+        The assembled RC network (cores + spreaders + sink).
+    power:
+        The per-core power model supplying ``psi(v)`` and ``beta``.
+    t_ambient_c:
+        Ambient temperature in Celsius, used only for unit conversion
+        (the paper uses 35 C).
+    """
+
+    def __init__(
+        self,
+        network: RCNetwork,
+        power: PowerModel,
+        t_ambient_c: float = 35.0,
+    ) -> None:
+        self.network = network
+        self.power = power
+        self.t_ambient_c = float(t_ambient_c)
+
+        g = network.conductance.copy()
+        core = network.core_nodes
+        g[core, core] -= power.beta
+        if not is_positive_definite(g):
+            raise ThermalRunawayError(
+                f"leakage feedback beta={power.beta} destabilizes the network: "
+                "G - E_beta is not positive definite"
+            )
+        #: Effective conductance with leakage folded in (symmetric, PD).
+        self.g_eff = g
+        self.c_diag = network.capacitance
+        #: System matrix A of eq. (2).
+        self.a = -g / self.c_diag[:, None]
+        # Steady-state solves share one Cholesky factorization of G - E_beta,
+        # and results are memoized per voltage vector: the algorithm inner
+        # loops re-evaluate the same handful of mode vectors thousands of
+        # times.
+        self._g_cho = scipy.linalg.cho_factor(self.g_eff)
+        self._ss_cache: dict[tuple[float, ...], np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def n_cores(self) -> int:
+        """Number of cores."""
+        return self.network.n_cores
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of thermal nodes."""
+        return self.network.n_nodes
+
+    @cached_property
+    def eigen(self) -> EigenExpm:
+        """Cached eigendecomposition of ``A`` (real negative spectrum)."""
+        return EigenExpm(self.a, c_diag=self.c_diag)
+
+    @cached_property
+    def slowest_time_constant(self) -> float:
+        """``1 / |lambda_max|`` — the dominant thermal time constant in s."""
+        return float(1.0 / np.abs(self.eigen.eigenvalues).min())
+
+    # ------------------------------------------------------------------
+    # power / forcing terms
+    # ------------------------------------------------------------------
+
+    def injection(self, voltages) -> np.ndarray:
+        """Node-level heat injection ``Psi(v)`` (W) for a core voltage vector."""
+        v = as_1d_float(voltages, "voltages", self.n_cores)
+        psi = np.zeros(self.n_nodes)
+        psi[self.network.core_nodes] = np.asarray(self.power.psi(v))
+        return psi
+
+    def b_vector(self, voltages) -> np.ndarray:
+        """``B(v) = C^{-1} Psi(v)`` of eq. (2)."""
+        return self.injection(voltages) / self.c_diag
+
+    # ------------------------------------------------------------------
+    # steady state / propagation
+    # ------------------------------------------------------------------
+
+    def steady_state(self, voltages) -> np.ndarray:
+        """``T_inf(v) = -A^{-1} B(v)``: solve ``(G - E_beta) theta = Psi(v)``.
+
+        Returns node temperatures above ambient (K).
+        """
+        key = tuple(np.round(np.atleast_1d(np.asarray(voltages, dtype=float)), 12))
+        cached = self._ss_cache.get(key)
+        if cached is not None:
+            return cached
+        theta = scipy.linalg.cho_solve(self._g_cho, self.injection(voltages))
+        if len(self._ss_cache) > 4096:
+            self._ss_cache.clear()
+        self._ss_cache[key] = theta
+        return theta
+
+    def steady_state_cores(self, voltages) -> np.ndarray:
+        """Steady-state temperatures of the core nodes only."""
+        return self.steady_state(voltages)[self.network.core_nodes]
+
+    def steady_state_batch(self, voltage_matrix: np.ndarray) -> np.ndarray:
+        """Steady-state *core* temperatures for a batch of voltage vectors.
+
+        Parameters
+        ----------
+        voltage_matrix:
+            ``(batch, n_cores)`` supply voltages.
+
+        Returns
+        -------
+        ``(batch, n_cores)`` core temperatures above ambient.  One shared
+        Cholesky solve for the whole batch — this is the hot path of the
+        exhaustive search (Algorithm 1).
+        """
+        volts = np.asarray(voltage_matrix, dtype=float)
+        if volts.ndim != 2 or volts.shape[1] != self.n_cores:
+            raise ThermalModelError(
+                f"voltage_matrix must be (batch, {self.n_cores}), got {volts.shape}"
+            )
+        psi = np.asarray(self.power.psi(volts))
+        rhs = np.zeros((self.n_nodes, volts.shape[0]))
+        rhs[self.network.core_nodes, :] = psi.T
+        theta = scipy.linalg.cho_solve(self._g_cho, rhs)
+        return theta[self.network.core_nodes, :].T
+
+    def propagate(self, theta0: np.ndarray, dt: float, voltages) -> np.ndarray:
+        """Advance eq. (3) by ``dt`` seconds under constant voltages.
+
+        ``theta(t0+dt) = T_inf + expm(A dt) (theta0 - T_inf)``.
+        """
+        if dt < 0:
+            raise ThermalModelError(f"dt must be >= 0, got {dt}")
+        theta0 = as_1d_float(theta0, "theta0", self.n_nodes)
+        t_inf = self.steady_state(voltages)
+        return t_inf + self.eigen.apply_expm(dt, theta0 - t_inf)
+
+    def required_injection_for(self, core_theta: np.ndarray) -> np.ndarray:
+        """Inverse steady-state problem: pin core temperatures, get powers.
+
+        Given target core temperatures ``core_theta`` (K above ambient),
+        solve the steady network for the non-core node temperatures (which
+        carry no injection) and return the per-core heat injection ``q``
+        (W) each core must produce so the pinned state is an equilibrium:
+
+        ``q = (G - E_beta)[cores, :] @ theta_full``.
+
+        This is the starting point of the continuous relaxation in
+        section V (stable state pinned at ``T_max``).
+        """
+        core_theta = as_1d_float(core_theta, "core_theta", self.n_cores)
+        core = self.network.core_nodes
+        other = np.setdiff1d(np.arange(self.n_nodes), core)
+
+        g = self.g_eff
+        # Non-core rows have zero injection:  G_oo theta_o + G_oc theta_c = 0
+        theta_other = solve_linear(g[np.ix_(other, other)], -g[np.ix_(other, core)] @ core_theta)
+        theta_full = np.empty(self.n_nodes)
+        theta_full[core] = core_theta
+        theta_full[other] = theta_other
+
+        q = g[core, :] @ theta_full
+        return q
+
+    # ------------------------------------------------------------------
+    # unit helpers
+    # ------------------------------------------------------------------
+
+    def to_celsius(self, theta) -> np.ndarray:
+        """Convert normalized temperatures (K above ambient) to Celsius."""
+        return np.asarray(theta, dtype=float) + self.t_ambient_c
+
+    def from_celsius(self, temp_c) -> np.ndarray:
+        """Convert Celsius to normalized temperatures."""
+        return np.asarray(temp_c, dtype=float) - self.t_ambient_c
+
+    def threshold_theta(self, t_max_c: float) -> float:
+        """Peak-temperature threshold in normalized units."""
+        theta = float(t_max_c) - self.t_ambient_c
+        if theta <= 0:
+            raise ThermalModelError(
+                f"T_max={t_max_c} C is not above ambient {self.t_ambient_c} C"
+            )
+        return theta
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ThermalModel({self.network.floorplan.describe()}, "
+            f"beta={self.power.beta}, t_amb={self.t_ambient_c} C)"
+        )

@@ -1,0 +1,193 @@
+"""HotSpot-like RC parameters for the compact core-level thermal model.
+
+The paper adopts thermal capacitances/resistances from HotSpot-5.02 at a
+65 nm node with the floorplan simplified to core level.  We reproduce the
+same three-layer stack HotSpot's lumped model uses:
+
+* a silicon node per core (heat injected here),
+* a copper heat-spreader node under each core, laterally connected,
+* a single heat-sink node tied to ambient through the convection
+  resistance.
+
+The defaults below start from HotSpot's published material constants
+(silicon k = 100 W/mK, volumetric heat capacity 1.75e6 J/m^3K; copper
+k = 400 W/mK, 3.55e6 J/m^3K; TIM k = 4 W/mK; sink convection ~0.1 K/W)
+and are then refined by :mod:`repro.thermal.calibration` against the
+paper's anchor numbers.  All conductances are in W/K, capacitances in J/K.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ThermalModelError
+from repro.floorplan.layout import Floorplan
+
+__all__ = ["RCParams", "SingleLayerParams"]
+
+# Material constants (HotSpot defaults).
+K_SILICON = 100.0          # W / (m K)
+K_COPPER = 400.0           # W / (m K)
+K_TIM = 4.0                # W / (m K) thermal interface material
+VOL_HEAT_SILICON = 1.75e6  # J / (m^3 K)
+VOL_HEAT_COPPER = 3.55e6   # J / (m^3 K)
+
+T_CHIP = 1.5e-4            # m, die thickness
+T_TIM = 2.0e-5             # m, interface layer
+T_SPREADER = 1.0e-3        # m, copper spreader
+
+
+@dataclass(frozen=True)
+class RCParams:
+    """Lumped RC parameters, expressed *per core tile* where applicable.
+
+    Attributes
+    ----------
+    g_vertical:
+        Core silicon node -> its spreader node, W/K (through half the die
+        plus the TIM layer).
+    g_lateral_core:
+        Between silicon nodes of adjacent cores, W/K.
+    g_lateral_spreader:
+        Between spreader nodes of adjacent cores, W/K.  This is the path
+        that couples the cores thermally and produces the middle-core
+        penalty the paper's motivation example shows.
+    g_spreader_sink:
+        Each spreader node -> the shared sink node, W/K.
+    g_sink_ambient:
+        Sink node -> ambient, W/K (inverse of the convection resistance).
+    c_core, c_spreader, c_sink:
+        Node heat capacities, J/K.
+    """
+
+    g_vertical: float = 2.44
+    g_lateral_core: float = 0.015
+    g_lateral_spreader: float = 0.40
+    g_spreader_sink: float = 0.45
+    g_sink_ambient: float = 10.0
+    c_core: float = 4.2e-3
+    c_spreader: float = 5.68e-2
+    c_sink: float = 140.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "g_vertical",
+            "g_spreader_sink",
+            "g_sink_ambient",
+            "c_core",
+            "c_spreader",
+            "c_sink",
+        ):
+            if getattr(self, name) <= 0:
+                raise ThermalModelError(f"{name} must be > 0, got {getattr(self, name)}")
+        for name in ("g_lateral_core", "g_lateral_spreader"):
+            if getattr(self, name) < 0:
+                raise ThermalModelError(f"{name} must be >= 0, got {getattr(self, name)}")
+
+    @classmethod
+    def from_materials(
+        cls,
+        floorplan: Floorplan,
+        chip_thickness_m: float = T_CHIP,
+        spreader_thickness_m: float = T_SPREADER,
+        tim_thickness_m: float = T_TIM,
+        sink_resistance_kpw: float = 0.1,
+        sink_capacity_jpk: float = 140.0,
+    ) -> "RCParams":
+        """Derive parameters from material constants and the tile geometry.
+
+        This mirrors how HotSpot computes its lumped network: plate
+        conductance ``k * A / t`` vertically and ``k * (edge * t) / pitch``
+        laterally.
+        """
+        geo = floorplan.geometry
+        area = geo.area_m2
+        edge = geo.width_m  # square tiles: either edge works for the lateral path
+
+        r_si = 0.5 * chip_thickness_m / (K_SILICON * area)
+        r_tim = tim_thickness_m / (K_TIM * area)
+        g_vertical = 1.0 / (r_si + r_tim)
+
+        g_lat_core = K_SILICON * (edge * chip_thickness_m) / edge
+        g_lat_spr = K_COPPER * (edge * spreader_thickness_m) / edge
+
+        # Spreader-to-sink: conduction through the spreader thickness plus a
+        # share of the sink base; approximated as copper plate conductance.
+        g_spr_sink = 1.0 / (spreader_thickness_m / (K_COPPER * area) + 1.8)
+
+        return cls(
+            g_vertical=g_vertical,
+            g_lateral_core=g_lat_core,
+            g_lateral_spreader=g_lat_spr,
+            g_spreader_sink=g_spr_sink,
+            g_sink_ambient=1.0 / sink_resistance_kpw,
+            c_core=VOL_HEAT_SILICON * area * chip_thickness_m,
+            c_spreader=VOL_HEAT_COPPER * area * spreader_thickness_m,
+            c_sink=sink_capacity_jpk,
+        )
+
+    def scaled(self, **factors: float) -> "RCParams":
+        """Return a copy with named fields multiplied by the given factors.
+
+        Example: ``params.scaled(c_core=2.0)`` doubles the silicon
+        capacitance.  Used by the calibration fitter.
+        """
+        updates = {}
+        for name, factor in factors.items():
+            if not hasattr(self, name):
+                raise ThermalModelError(f"RCParams has no field {name!r}")
+            updates[name] = getattr(self, name) * factor
+        return replace(self, **updates)
+
+
+@dataclass(frozen=True)
+class SingleLayerParams:
+    """Parameters of the per-core single-node network (the paper's substrate).
+
+    The paper extracts its matrices with the method of Wang & Ranka [23],
+    [27], which models each core as a single thermal node: a direct
+    conductance to ambient plus lateral conductances between adjacent
+    cores.  Cores at the chip boundary enjoy extra lateral spreading into
+    the package periphery, modeled as an additional ambient conductance
+    per exposed tile edge — this is what makes interior cores thermally
+    disadvantaged and produces the asymmetric ideal voltages of the
+    motivation example (``[1.2085, 1.1748, 1.2085]`` on the 1x3 chip).
+
+    The defaults are the output of :mod:`repro.thermal.calibration`
+    against the paper's anchor numbers at 65 nm.
+
+    Attributes
+    ----------
+    g_direct:
+        Core -> ambient conductance common to every core, W/K.
+    g_boundary:
+        Additional core -> ambient conductance per exposed tile edge, W/K.
+    g_lateral:
+        Conductance between edge-adjacent cores, W/K.
+    c_core:
+        Per-core heat capacity, J/K.  The fitted value puts the core time
+        constant at a few milliseconds — the scale at which the paper's
+        Table III ratios and the m-oscillation tradeoff live.
+    """
+
+    g_direct: float = 0.326067
+    g_boundary: float = 0.024041
+    g_lateral: float = 0.128686
+    c_core: float = 1.330769e-3
+
+    def __post_init__(self) -> None:
+        if self.g_direct <= 0:
+            raise ThermalModelError(f"g_direct must be > 0, got {self.g_direct}")
+        if self.g_boundary < 0 or self.g_lateral < 0:
+            raise ThermalModelError("g_boundary and g_lateral must be >= 0")
+        if self.c_core <= 0:
+            raise ThermalModelError(f"c_core must be > 0, got {self.c_core}")
+
+    def scaled(self, **factors: float) -> "SingleLayerParams":
+        """Copy with named fields multiplied by the given factors."""
+        updates = {}
+        for name, factor in factors.items():
+            if not hasattr(self, name):
+                raise ThermalModelError(f"SingleLayerParams has no field {name!r}")
+            updates[name] = getattr(self, name) * factor
+        return replace(self, **updates)

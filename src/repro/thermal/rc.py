@@ -1,0 +1,179 @@
+"""RC network assembly: floorplan + parameters -> (C, G) matrices.
+
+Node layout for an N-core chip (total ``2N + 1`` nodes):
+
+* ``0 .. N-1``    — silicon core nodes (power is injected here),
+* ``N .. 2N-1``   — spreader nodes, one under each core,
+* ``2N``          — the shared heat-sink node, grounded to ambient.
+
+``G`` is the conductance matrix of the grounded network: off-diagonals are
+``-g_ij`` for each thermal link, diagonals hold the sum of incident
+conductances including the ambient ground at the sink.  With temperatures
+normalized to ambient, the heat equation is ``C dtheta/dt = -G theta + P``.
+
+``G`` is symmetric and — thanks to the ambient ground — positive definite,
+which gives the system matrix ``A = -C^{-1} G`` its real negative spectrum
+(the property every theorem in the paper relies on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ThermalModelError
+from repro.floorplan.layout import Floorplan
+from repro.thermal.params import RCParams, SingleLayerParams
+from repro.util.linalg import is_positive_definite, is_symmetric
+
+__all__ = ["RCNetwork", "build_rc_network", "build_single_layer_network"]
+
+
+@dataclass(frozen=True)
+class RCNetwork:
+    """An assembled grounded RC network.
+
+    Attributes
+    ----------
+    floorplan:
+        The originating floorplan (kept for introspection).
+    conductance:
+        ``(n_nodes, n_nodes)`` symmetric positive-definite G matrix, W/K.
+    capacitance:
+        ``(n_nodes,)`` diagonal of the C matrix, J/K.
+    core_nodes:
+        Indices of the nodes where core power is injected.
+    """
+
+    floorplan: Floorplan
+    conductance: np.ndarray
+    capacitance: np.ndarray
+    core_nodes: np.ndarray
+
+    def __post_init__(self) -> None:
+        g = np.asarray(self.conductance, dtype=float)
+        c = np.asarray(self.capacitance, dtype=float)
+        if not is_symmetric(g):
+            raise ThermalModelError("conductance matrix must be symmetric")
+        if c.ndim != 1 or c.shape[0] != g.shape[0]:
+            raise ThermalModelError(
+                f"capacitance length {c.shape} does not match G {g.shape}"
+            )
+        if np.any(c <= 0):
+            raise ThermalModelError("all node capacitances must be positive")
+        if not is_positive_definite(g):
+            raise ThermalModelError(
+                "conductance matrix must be positive definite "
+                "(is the network grounded to ambient?)"
+            )
+        object.__setattr__(self, "conductance", g)
+        object.__setattr__(self, "capacitance", c)
+        object.__setattr__(self, "core_nodes", np.asarray(self.core_nodes, dtype=int))
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count (cores + spreaders + sink)."""
+        return self.conductance.shape[0]
+
+    @property
+    def n_cores(self) -> int:
+        """Number of power-injecting core nodes."""
+        return self.core_nodes.shape[0]
+
+    def injection_matrix(self) -> np.ndarray:
+        """``(n_nodes, n_cores)`` selector mapping core powers to node powers."""
+        sel = np.zeros((self.n_nodes, self.n_cores))
+        sel[self.core_nodes, np.arange(self.n_cores)] = 1.0
+        return sel
+
+
+def build_rc_network(
+    floorplan: Floorplan,
+    params: RCParams | None = None,
+) -> RCNetwork:
+    """Assemble the three-layer RC network for a floorplan.
+
+    Parameters
+    ----------
+    floorplan:
+        Core placement; lateral links follow its edge adjacency.
+    params:
+        RC parameters; defaults to the calibrated 65 nm set.
+    """
+    if params is None:
+        params = RCParams()
+    n = floorplan.n_cores
+    n_nodes = 2 * n + 1
+    sink = 2 * n
+
+    g = np.zeros((n_nodes, n_nodes))
+
+    def link(i: int, j: int, conductance: float) -> None:
+        if conductance == 0.0:
+            return
+        g[i, j] -= conductance
+        g[j, i] -= conductance
+        g[i, i] += conductance
+        g[j, j] += conductance
+
+    for i in range(n):
+        link(i, n + i, params.g_vertical)          # core -> own spreader cell
+        link(n + i, sink, params.g_spreader_sink)  # spreader cell -> sink
+
+    for i, j, _edge in floorplan.adjacent_pairs():
+        link(i, j, params.g_lateral_core)          # silicon lateral
+        link(n + i, n + j, params.g_lateral_spreader)  # spreader lateral
+
+    # Ground the sink to ambient: appears only on the diagonal.
+    g[sink, sink] += params.g_sink_ambient
+
+    c = np.empty(n_nodes)
+    c[:n] = params.c_core
+    c[n : 2 * n] = params.c_spreader
+    c[sink] = params.c_sink
+
+    return RCNetwork(
+        floorplan=floorplan,
+        conductance=g,
+        capacitance=c,
+        core_nodes=np.arange(n),
+    )
+
+
+def build_single_layer_network(
+    floorplan: Floorplan,
+    params: SingleLayerParams | None = None,
+) -> RCNetwork:
+    """Assemble the per-core single-node network (the paper's substrate).
+
+    One thermal node per core: a direct ambient conductance
+    (``g_direct`` plus ``g_boundary`` per exposed tile edge) and lateral
+    conductances between adjacent cores.  See
+    :class:`~repro.thermal.params.SingleLayerParams` for the physical
+    story.
+    """
+    if params is None:
+        params = SingleLayerParams()
+    n = floorplan.n_cores
+    g = np.zeros((n, n))
+
+    neighbor_counts = floorplan.neighbor_counts()
+    for i in range(n):
+        # A tile has 4 edges; those not shared with a neighbour are exposed.
+        exposed = 4 - int(neighbor_counts[i])
+        g[i, i] += params.g_direct + params.g_boundary * exposed
+
+    for i, j, _edge in floorplan.adjacent_pairs():
+        g[i, j] -= params.g_lateral
+        g[j, i] -= params.g_lateral
+        g[i, i] += params.g_lateral
+        g[j, j] += params.g_lateral
+
+    c = np.full(n, params.c_core)
+    return RCNetwork(
+        floorplan=floorplan,
+        conductance=g,
+        capacitance=c,
+        core_nodes=np.arange(n),
+    )

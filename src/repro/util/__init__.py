@@ -1,0 +1,29 @@
+"""Shared numerical and validation utilities."""
+
+from repro.util.linalg import (
+    EigenExpm,
+    solve_linear,
+    spectral_abscissa,
+    is_symmetric,
+    is_positive_definite,
+)
+from repro.util.validation import (
+    as_1d_float,
+    as_2d_float,
+    check_finite,
+    check_positive,
+    check_in_range,
+)
+
+__all__ = [
+    "EigenExpm",
+    "solve_linear",
+    "spectral_abscissa",
+    "is_symmetric",
+    "is_positive_definite",
+    "as_1d_float",
+    "as_2d_float",
+    "check_finite",
+    "check_positive",
+    "check_in_range",
+]

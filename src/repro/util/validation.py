@@ -1,0 +1,62 @@
+"""Small argument-validation helpers used across the package.
+
+These keep error messages uniform and catch shape/NaN bugs at API
+boundaries instead of deep inside linear algebra calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "as_1d_float",
+    "as_2d_float",
+    "check_finite",
+    "check_positive",
+    "check_in_range",
+]
+
+
+def as_1d_float(x, name: str, length: int | None = None) -> np.ndarray:
+    """Coerce to a 1-D float array, optionally enforcing a length."""
+    arr = np.atleast_1d(np.asarray(x, dtype=float))
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    if length is not None and arr.shape[0] != length:
+        raise ValueError(f"{name} must have length {length}, got {arr.shape[0]}")
+    return arr
+
+
+def as_2d_float(x, name: str, shape: tuple[int, int] | None = None) -> np.ndarray:
+    """Coerce to a 2-D float array, optionally enforcing a shape."""
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {arr.shape}")
+    if shape is not None and arr.shape != shape:
+        raise ValueError(f"{name} must have shape {shape}, got {arr.shape}")
+    return arr
+
+
+def check_finite(x: np.ndarray, name: str) -> np.ndarray:
+    """Raise ValueError if ``x`` contains NaN or infinity."""
+    if not np.all(np.isfinite(x)):
+        raise ValueError(f"{name} contains non-finite values")
+    return x
+
+
+def check_positive(value: float, name: str, strict: bool = True) -> float:
+    """Raise ValueError unless ``value`` is positive (or non-negative)."""
+    value = float(value)
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_in_range(value: float, name: str, lo: float, hi: float) -> float:
+    """Raise ValueError unless ``lo <= value <= hi``."""
+    value = float(value)
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value}")
+    return value

@@ -1,0 +1,25 @@
+"""Real-time workload layer: periodic tasks, partitioning, thermal checks."""
+
+from repro.workload.tasks import PeriodicTask, TaskSet
+from repro.workload.mapping import (
+    Mapping,
+    first_fit_decreasing,
+    worst_fit_decreasing,
+    thermal_aware_mapping,
+)
+from repro.workload.scheduler import WorkloadResult, schedule_taskset
+from repro.workload.edf import EDFReport, simulate_edf, supply_in_window
+
+__all__ = [
+    "PeriodicTask",
+    "TaskSet",
+    "Mapping",
+    "first_fit_decreasing",
+    "worst_fit_decreasing",
+    "thermal_aware_mapping",
+    "WorkloadResult",
+    "schedule_taskset",
+    "EDFReport",
+    "simulate_edf",
+    "supply_in_window",
+]

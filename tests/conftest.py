@@ -1,0 +1,54 @@
+"""Shared fixtures: platforms, models, and schedule generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.floorplan.library import floorplan_2x1, floorplan_3x1, floorplan_3x2
+from repro.platform import paper_platform
+from repro.power.model import PowerModel
+from repro.thermal.model import ThermalModel
+from repro.thermal.rc import build_rc_network, build_single_layer_network
+
+
+@pytest.fixture(scope="session")
+def power_model() -> PowerModel:
+    """The calibrated 65 nm power model."""
+    return PowerModel()
+
+
+@pytest.fixture(scope="session")
+def model3(power_model) -> ThermalModel:
+    """Calibrated single-layer model of the paper's 1x3 chip."""
+    return ThermalModel(build_single_layer_network(floorplan_3x1()), power_model)
+
+
+@pytest.fixture(scope="session")
+def model2(power_model) -> ThermalModel:
+    """Calibrated single-layer model of the paper's 1x2 chip."""
+    return ThermalModel(build_single_layer_network(floorplan_2x1()), power_model)
+
+
+@pytest.fixture(scope="session")
+def model6_stacked(power_model) -> ThermalModel:
+    """Three-layer (stacked) model of the 6-core chip."""
+    return ThermalModel(build_rc_network(floorplan_3x2()), power_model)
+
+
+@pytest.fixture(scope="session")
+def platform3():
+    """3-core, 2-level platform at the motivation example's threshold."""
+    return paper_platform(3, n_levels=2, t_max_c=65.0)
+
+
+@pytest.fixture(scope="session")
+def platform3_no_overhead():
+    """Same platform with tau = 0 (the section III setting)."""
+    return paper_platform(3, n_levels=2, t_max_c=65.0, tau=0.0)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Deterministic RNG for workload generation."""
+    return np.random.default_rng(20160816)

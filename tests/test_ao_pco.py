@@ -1,0 +1,109 @@
+"""Tests for the AO (Algorithm 2) and PCO schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ao, exs, lns, pco
+from repro.platform import paper_platform
+from repro.schedule.properties import is_step_up
+from repro.thermal.peak import peak_temperature
+
+
+@pytest.fixture(scope="module")
+def p3():
+    return paper_platform(3, n_levels=2, t_max_c=65.0)
+
+
+@pytest.fixture(scope="module")
+def ao3(p3):
+    return ao(p3)
+
+
+class TestAO:
+    def test_feasible(self, p3, ao3):
+        assert ao3.feasible
+        assert ao3.peak_theta <= p3.theta_max + 1e-6
+
+    def test_exact_peak_verification(self, p3, ao3):
+        exact = peak_temperature(p3.model, ao3.schedule, grid_per_interval=128)
+        assert exact.value <= p3.theta_max + 5e-3
+
+    def test_beats_exs_and_lns(self, p3, ao3):
+        assert ao3.throughput > exs(p3).throughput
+        assert ao3.throughput > lns(p3).throughput
+
+    def test_below_continuous_ideal(self, p3, ao3):
+        ideal = np.asarray(ao3.details["continuous_voltages"]).mean()
+        assert ao3.throughput <= ideal + 1e-9
+
+    def test_emits_stepup_schedule(self, ao3):
+        assert is_step_up(ao3.schedule)
+
+    def test_details_present(self, ao3):
+        for key in ("m_opt", "m_history", "final_high_ratio", "v_low", "v_high"):
+            assert key in ao3.details
+        assert ao3.details["m_opt"] >= 1
+
+    def test_m_respects_overhead_bound(self, p3, ao3):
+        # The chosen cycle's low intervals must host the transitions.
+        m = ao3.details["m_opt"]
+        cycle = 0.02 / m
+        ratios = np.asarray(ao3.details["final_high_ratio"])
+        v_lo = np.asarray(ao3.details["v_low"])
+        v_hi = np.asarray(ao3.details["v_high"])
+        for i in range(3):
+            if v_hi[i] > v_lo[i] and 0 < ratios[i] < 1:
+                t_low = (1 - ratios[i]) * cycle
+                assert t_low >= p3.overhead.tau
+
+    def test_constant_plan_when_levels_hit(self):
+        # With a generous threshold every core clamps to v_max: single mode.
+        p = paper_platform(2, n_levels=2, t_max_c=120.0)
+        r = ao(p)
+        assert r.details["m_opt"] == 1
+        assert np.allclose(r.schedule.voltage_matrix, 1.3)
+        assert r.throughput == pytest.approx(1.3)
+
+    def test_no_fill_variant_not_better(self, p3, ao3):
+        r_nofill = ao(p3, fill=False)
+        assert r_nofill.throughput <= ao3.throughput + 1e-9
+
+    def test_m_step_speedup_preserves_feasibility(self, p3):
+        r = ao(p3, m_step=8)
+        assert r.feasible
+
+    @pytest.mark.parametrize("n", [2, 6])
+    def test_other_core_counts(self, n):
+        p = paper_platform(n, n_levels=3, t_max_c=55.0)
+        r = ao(p)
+        assert r.feasible
+        assert r.throughput >= lns(p).throughput - 1e-9
+
+
+class TestPCO:
+    @pytest.fixture(scope="class")
+    def pco3(self, p3):
+        return pco(p3, shift_grid=4)
+
+    def test_feasible_under_general_engine(self, p3, pco3):
+        assert pco3.feasible
+        exact = peak_temperature(p3.model, pco3.schedule, grid_per_interval=128)
+        assert exact.value <= p3.theta_max + 5e-3
+
+    def test_close_to_ao(self, ao3, pco3):
+        # The paper finds AO and PCO nearly equal once m-oscillation has
+        # shrunk the cycle.
+        assert pco3.throughput == pytest.approx(ao3.throughput, rel=0.05)
+
+    def test_at_least_exs(self, p3, pco3):
+        assert pco3.throughput > exs(p3).throughput
+
+    def test_details_include_shifts(self, pco3):
+        shifts = pco3.details["shifts"]
+        assert len(shifts) == 3
+        assert all(s >= 0 for s in shifts)
+
+    def test_slower_than_ao(self, ao3, pco3):
+        # Table V's qualitative claim on this codebase: PCO pays for the
+        # general peak engine.
+        assert pco3.runtime_s > ao3.runtime_s * 0.5

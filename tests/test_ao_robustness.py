@@ -1,0 +1,113 @@
+"""Robustness property tests: AO across randomized platforms.
+
+The paper evaluates four fixed chips; here hypothesis perturbs the RC
+constants, ladder, threshold and overhead, and asserts the invariants the
+algorithm must keep *everywhere*:
+
+* the emitted schedule respects T_max (verified by the exact engine),
+* AO never loses to EXS or the continuous upper bound,
+* the result is deterministic for a fixed platform.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import ao, continuous_assignment, exs
+from repro.errors import SolverError
+from repro.floorplan.library import paper_floorplan
+from repro.platform import Platform
+from repro.power.dvfs import TransitionOverhead, VoltageLadder
+from repro.power.model import PowerModel
+from repro.thermal.model import ThermalModel
+from repro.thermal.params import SingleLayerParams
+from repro.thermal.peak import peak_temperature
+from repro.thermal.rc import build_single_layer_network
+
+
+def build_platform(
+    n_cores: int,
+    g_scale: float,
+    lat_scale: float,
+    c_scale: float,
+    t_max_c: float,
+    ladder_levels: tuple[float, ...],
+    tau: float,
+) -> Platform:
+    params = SingleLayerParams().scaled(
+        g_direct=g_scale, g_boundary=g_scale,
+        g_lateral=lat_scale, c_core=c_scale,
+    )
+    model = ThermalModel(
+        build_single_layer_network(paper_floorplan(n_cores), params),
+        PowerModel(),
+    )
+    return Platform(
+        model=model,
+        ladder=VoltageLadder(ladder_levels),
+        overhead=TransitionOverhead(tau=tau),
+        t_max_c=t_max_c,
+    )
+
+
+LADDERS = [
+    (0.6, 1.3),
+    (0.6, 0.8, 1.3),
+    (0.6, 0.9, 1.1, 1.3),
+    (0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3),
+]
+
+
+class TestAORobustness:
+    @given(
+        n_cores=st.sampled_from([2, 3, 6]),
+        g_scale=st.floats(0.8, 1.6),
+        lat_scale=st.floats(0.3, 3.0),
+        c_scale=st.floats(0.3, 3.0),
+        t_max_c=st.floats(48.0, 70.0),
+        ladder_idx=st.integers(0, len(LADDERS) - 1),
+        tau=st.sampled_from([0.0, 1e-6, 5e-6, 2e-5]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_invariants_hold_everywhere(
+        self, n_cores, g_scale, lat_scale, c_scale, t_max_c, ladder_idx, tau
+    ):
+        platform = build_platform(
+            n_cores, g_scale, lat_scale, c_scale, t_max_c,
+            LADDERS[ladder_idx], tau,
+        )
+        try:
+            cont = continuous_assignment(platform)
+        except SolverError:
+            return  # platform infeasible even at v_min: nothing to assert
+        result = ao(platform, m_cap=24, m_step=2)
+
+        # 1. Constraint verified with the exact engine.
+        exact = peak_temperature(
+            platform.model, result.schedule, grid_per_interval=96
+        ).value
+        assert exact <= platform.theta_max + 0.05
+
+        # 2. Sandwiched between EXS and the continuous bound.
+        assert result.throughput <= cont.throughput + 1e-9
+        exs_result = exs(platform)
+        assert result.throughput >= exs_result.throughput - 1e-6
+
+    @given(
+        t_max_c=st.floats(50.0, 68.0),
+        ladder_idx=st.integers(0, len(LADDERS) - 1),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_deterministic(self, t_max_c, ladder_idx):
+        platform = build_platform(
+            3, 1.0, 1.0, 1.0, t_max_c, LADDERS[ladder_idx], 5e-6
+        )
+        try:
+            a = ao(platform, m_cap=16)
+            b = ao(platform, m_cap=16)
+        except SolverError:
+            return
+        assert a.throughput == pytest.approx(b.throughput, abs=1e-12)
+        assert np.allclose(a.schedule.voltage_matrix, b.schedule.voltage_matrix)
+        assert np.allclose(a.schedule.lengths, b.schedule.lengths)

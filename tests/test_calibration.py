@@ -1,0 +1,66 @@
+"""Tests for the anchor-based calibration machinery."""
+
+import numpy as np
+import pytest
+
+from repro.power.model import PowerModel
+from repro.thermal.calibration import (
+    AnchorSet,
+    anchor_residuals,
+    calibrate,
+    solve_level_anchors,
+)
+from repro.thermal.params import SingleLayerParams
+
+
+class TestLevelAnchors:
+    def test_closed_form_reproduces_ideal_voltages(self):
+        power = PowerModel()
+        g_direct, g_boundary = solve_level_anchors(power)
+        # Verify through the forward model.
+        from repro.floorplan.library import floorplan_3x1
+        from repro.thermal.model import ThermalModel
+        from repro.thermal.rc import build_single_layer_network
+
+        params = SingleLayerParams(g_direct=g_direct, g_boundary=g_boundary)
+        m = ThermalModel(build_single_layer_network(floorplan_3x1(), params), power)
+        q = m.required_injection_for(np.full(3, 30.0))
+        v = [power.psi_inverse(qi) for qi in q]
+        assert v == pytest.approx([1.2085, 1.1748, 1.2085], abs=1e-9)
+
+    def test_defaults_match_solved_anchors(self):
+        g_direct, g_boundary = solve_level_anchors(PowerModel())
+        defaults = SingleLayerParams()
+        assert defaults.g_direct == pytest.approx(g_direct, abs=1e-5)
+        assert defaults.g_boundary == pytest.approx(g_boundary, abs=1e-5)
+
+
+class TestResiduals:
+    def test_shipped_defaults_hit_hard_anchors(self):
+        res = anchor_residuals(SingleLayerParams(), PowerModel())
+        # Ideal voltages (weighted): essentially zero (defaults are the
+        # fitted values rounded to six decimals).
+        assert abs(res[0]) < 1e-3 and abs(res[1]) < 1e-3
+        # EXS frontier: satisfied (small hinge values).
+        assert res[2] < 0.5 and res[3] < 0.5
+        # Table III operating point: on the constraint.
+        assert abs(res[4]) < 0.05
+
+    def test_residual_count_matches_weights(self):
+        anchors = AnchorSet()
+        res = anchor_residuals(SingleLayerParams(), PowerModel(), anchors)
+        assert res.shape == (len(anchors.weights),)
+
+
+class TestCalibrate:
+    def test_roundtrip_from_perturbed_start(self):
+        # Calibration must recover a good fit even from a poor start.
+        result = calibrate(initial_lateral=0.5, initial_c_core=5e-3, max_nfev=80)
+        assert abs(result.residuals[0]) < 1e-3  # ideal voltages exact by construction
+        assert abs(result.residuals[4]) < 0.2   # Table III anchor fitted
+        assert result.cost < 100.0
+
+    def test_summary_contains_parameters(self):
+        result = calibrate(max_nfev=30)
+        text = result.summary()
+        assert "g_direct" in text and "gamma" in text

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import QUICK_ARGS, _parse_option, main
+from repro.experiments.registry import EXPERIMENTS
+
+
+class TestParseOption:
+    def test_int(self):
+        assert _parse_option("m_max=5") == ("m_max", 5)
+
+    def test_float(self):
+        assert _parse_option("step=0.5") == ("step", 0.5)
+
+    def test_bool(self):
+        assert _parse_option("flag=true") == ("flag", True)
+        assert _parse_option("flag=False") == ("flag", False)
+
+    def test_string(self):
+        assert _parse_option("name=abc") == ("name", "abc")
+
+    def test_missing_equals(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_option("oops")
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_quick_fig2(self, capsys):
+        assert main(["fig2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out
+        assert "finished in" in out
+
+    def test_quick_table2(self, capsys):
+        assert main(["table2", "--quick"]) == 0
+        assert "Table II" in capsys.readouterr().out
+
+    def test_option_override(self, capsys):
+        assert main(["fig5", "--quick", "-o", "m_max=2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n1 ") or "1 " in out
+
+    def test_quick_args_reference_valid_experiments(self):
+        assert set(QUICK_ARGS) <= set(EXPERIMENTS)
+
+    def test_csv_export(self, tmp_path, capsys):
+        out = tmp_path / "grid.csv"
+        assert main(["fig7", "--quick", "--csv", str(out)]) == 0
+        text = out.read_text()
+        assert text.startswith("cores,levels,t_max_c")
+        assert len(text.splitlines()) > 1
+
+    def test_csv_ignored_without_grid(self, tmp_path, capsys):
+        out = tmp_path / "nope.csv"
+        assert main(["fig2", "--csv", str(out)]) == 0
+        assert not out.exists()
+        assert "ignored" in capsys.readouterr().err

@@ -1,0 +1,108 @@
+"""Tests for the exception hierarchy and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.util.validation import (
+    as_1d_float,
+    as_2d_float,
+    check_finite,
+    check_in_range,
+    check_positive,
+)
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        leaves = [
+            errors.ConfigurationError,
+            errors.FloorplanError,
+            errors.PowerModelError,
+            errors.ThermalModelError,
+            errors.ThermalRunawayError,
+            errors.ScheduleError,
+            errors.ModeError,
+            errors.SolverError,
+            errors.InfeasibleError,
+            errors.ConvergenceError,
+        ]
+        for cls in leaves:
+            assert issubclass(cls, errors.ReproError)
+
+    def test_value_error_compatibility(self):
+        # Validation-style errors double as ValueError for generic callers.
+        for cls in (errors.ConfigurationError, errors.ScheduleError):
+            assert issubclass(cls, ValueError)
+
+    def test_runtime_error_compatibility(self):
+        for cls in (errors.SolverError, errors.InfeasibleError):
+            assert issubclass(cls, RuntimeError)
+
+    def test_runaway_is_thermal_model_error(self):
+        assert issubclass(errors.ThermalRunawayError, errors.ThermalModelError)
+
+    def test_catching_base_catches_leaf(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.InfeasibleError("nope")
+
+
+class TestValidationHelpers:
+    def test_as_1d_float_coerces(self):
+        out = as_1d_float([1, 2, 3], "x")
+        assert out.dtype == float
+        assert out.shape == (3,)
+
+    def test_as_1d_float_scalar(self):
+        assert as_1d_float(5, "x").shape == (1,)
+
+    def test_as_1d_float_length_check(self):
+        with pytest.raises(ValueError):
+            as_1d_float([1, 2], "x", length=3)
+
+    def test_as_1d_float_rejects_2d(self):
+        with pytest.raises(ValueError):
+            as_1d_float(np.ones((2, 2)), "x")
+
+    def test_as_2d_float(self):
+        out = as_2d_float([[1, 2], [3, 4]], "m")
+        assert out.shape == (2, 2)
+        with pytest.raises(ValueError):
+            as_2d_float([1, 2], "m")
+        with pytest.raises(ValueError):
+            as_2d_float([[1, 2]], "m", shape=(2, 2))
+
+    def test_check_finite(self):
+        check_finite(np.array([1.0, 2.0]), "x")
+        with pytest.raises(ValueError):
+            check_finite(np.array([1.0, np.nan]), "x")
+        with pytest.raises(ValueError):
+            check_finite(np.array([np.inf]), "x")
+
+    def test_check_positive(self):
+        assert check_positive(1.0, "x") == 1.0
+        assert check_positive(0.0, "x", strict=False) == 0.0
+        with pytest.raises(ValueError):
+            check_positive(0.0, "x")
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "x", strict=False)
+
+    def test_check_in_range(self):
+        assert check_in_range(0.5, "x", 0.0, 1.0) == 0.5
+        with pytest.raises(ValueError):
+            check_in_range(1.5, "x", 0.0, 1.0)
+
+
+class TestMainModule:
+    def test_python_dash_m_entry(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "fig6" in proc.stdout

@@ -1,0 +1,131 @@
+"""Unit tests for floorplan geometry and adjacency."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FloorplanError
+from repro.floorplan.layout import CoreGeometry, Floorplan, grid_floorplan
+from repro.floorplan.library import (
+    PAPER_CONFIGS,
+    floorplan_2x1,
+    floorplan_3x1,
+    floorplan_3x2,
+    floorplan_3x3,
+    paper_floorplan,
+)
+
+
+class TestCoreGeometry:
+    def test_default_is_paper_tile(self):
+        geo = CoreGeometry()
+        assert geo.width_m == pytest.approx(4e-3)
+        assert geo.height_m == pytest.approx(4e-3)
+        assert geo.area_m2 == pytest.approx(1.6e-5)
+
+    @pytest.mark.parametrize("w,h", [(0, 1e-3), (1e-3, 0), (-1e-3, 1e-3)])
+    def test_rejects_nonpositive_dimensions(self, w, h):
+        with pytest.raises(FloorplanError):
+            CoreGeometry(width_m=w, height_m=h)
+
+
+class TestFloorplanShape:
+    def test_grid_counts(self):
+        fp = grid_floorplan(3, 3)
+        assert fp.n_cores == 9
+        assert fp.rows == 3 and fp.cols == 3
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(FloorplanError):
+            Floorplan(rows=0, cols=3)
+
+    def test_rejects_duplicate_occupied(self):
+        with pytest.raises(FloorplanError):
+            Floorplan(rows=2, cols=2, occupied=(0, 0, 1))
+
+    def test_rejects_out_of_range_occupied(self):
+        with pytest.raises(FloorplanError):
+            Floorplan(rows=2, cols=2, occupied=(0, 5))
+
+    def test_partial_occupancy(self):
+        # L-shaped 3-core chip on a 2x2 grid.
+        fp = Floorplan(rows=2, cols=2, occupied=(0, 1, 2))
+        assert fp.n_cores == 3
+        pairs = {(i, j) for i, j, _ in fp.adjacent_pairs()}
+        assert pairs == {(0, 1), (0, 2)}
+
+    def test_position_roundtrip(self):
+        fp = grid_floorplan(2, 3)
+        for core in range(fp.n_cores):
+            row, col = fp.position(core)
+            assert fp.core_at(row, col) == core
+
+    def test_core_at_outside_returns_none(self):
+        fp = grid_floorplan(2, 2)
+        assert fp.core_at(-1, 0) is None
+        assert fp.core_at(0, 5) is None
+
+    def test_position_out_of_range_raises(self):
+        fp = grid_floorplan(1, 2)
+        with pytest.raises(FloorplanError):
+            fp.position(2)
+
+
+class TestAdjacency:
+    def test_row_adjacency(self):
+        fp = floorplan_3x1()
+        pairs = {(i, j) for i, j, _ in fp.adjacent_pairs()}
+        assert pairs == {(0, 1), (1, 2)}
+
+    def test_grid_adjacency_3x3(self):
+        fp = floorplan_3x3()
+        counts = fp.neighbor_counts()
+        # corner cores: 2 neighbours; edge cores: 3; center: 4
+        assert sorted(counts) == [2, 2, 2, 2, 3, 3, 3, 3, 4]
+        assert counts[4] == 4  # center of the 3x3 grid
+
+    def test_adjacency_matrix_symmetric(self):
+        fp = floorplan_3x2()
+        adj = fp.adjacency_matrix()
+        assert np.array_equal(adj, adj.T)
+        assert np.all(np.diag(adj) == 0)
+
+    def test_shared_edge_lengths(self):
+        fp = grid_floorplan(2, 2, core_width_m=4e-3, core_height_m=2e-3)
+        for i, j, edge in fp.adjacent_pairs():
+            ri, ci = fp.position(i)
+            rj, cj = fp.position(j)
+            if ri == rj:  # horizontal neighbours share a vertical edge
+                assert edge == pytest.approx(2e-3)
+            else:
+                assert edge == pytest.approx(4e-3)
+
+    def test_centers_spacing(self):
+        fp = floorplan_3x1()
+        centers = fp.centers_m()
+        gaps = np.diff(centers[:, 0])
+        assert np.allclose(gaps, 4e-3)
+
+
+class TestLibrary:
+    @pytest.mark.parametrize("n", [2, 3, 6, 9])
+    def test_paper_configs(self, n):
+        fp = paper_floorplan(n)
+        assert fp.n_cores == n
+        rows, cols = PAPER_CONFIGS[n]
+        assert (fp.rows, fp.cols) == (rows, cols)
+
+    def test_unknown_count_raises(self):
+        with pytest.raises(FloorplanError):
+            paper_floorplan(5)
+
+    def test_named_builders(self):
+        assert floorplan_2x1().n_cores == 2
+        assert floorplan_3x1().n_cores == 3
+        assert floorplan_3x2().n_cores == 6
+        assert floorplan_3x3().n_cores == 9
+
+    def test_middle_core_fewer_exposed_edges(self):
+        fp = floorplan_3x1()
+        counts = fp.neighbor_counts()
+        # edge cores have 1 neighbour (3 exposed edges), middle has 2.
+        assert list(counts) == [1, 2, 1]

@@ -1,0 +1,100 @@
+"""Tests for the sub-core grid refinement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.floorplan.library import floorplan_2x1, floorplan_3x1, floorplan_3x3
+from repro.power.model import PowerModel
+from repro.schedule.builders import random_stepup_schedule, two_mode_schedule
+from repro.thermal.grid_model import build_refined_model, refined_peak_error
+from repro.thermal.model import ThermalModel
+from repro.thermal.rc import build_single_layer_network
+from repro.util.linalg import is_positive_definite, is_symmetric
+
+
+@pytest.fixture(scope="module")
+def coarse3():
+    return ThermalModel(build_single_layer_network(floorplan_3x1()), PowerModel())
+
+
+class TestConstruction:
+    def test_k1_matches_coarse_exactly(self, coarse3):
+        ref = build_refined_model(floorplan_3x1(), k=1)
+        assert np.allclose(ref.model.network.conductance,
+                           coarse3.network.conductance)
+        assert np.allclose(ref.model.network.capacitance,
+                           coarse3.network.capacitance)
+
+    def test_matrix_properties(self):
+        ref = build_refined_model(floorplan_3x3(), k=2)
+        g = ref.model.network.conductance
+        assert g.shape == (36, 36)
+        assert is_symmetric(g)
+        assert is_positive_definite(g)
+
+    def test_totals_preserved(self):
+        fp = floorplan_2x1()
+        params_coarse = build_single_layer_network(fp)
+        ref = build_refined_model(fp, k=3)
+        # Total capacitance preserved.
+        assert ref.model.network.capacitance.sum() == pytest.approx(
+            params_coarse.capacitance.sum()
+        )
+        # Total ambient conductance preserved (row sums = ground paths).
+        assert ref.model.network.conductance.sum() == pytest.approx(
+            params_coarse.conductance.sum()
+        )
+
+    def test_power_scaling_preserves_injection(self):
+        ref = build_refined_model(floorplan_2x1(), k=2)
+        coarse_power = PowerModel()
+        block_psi = np.asarray(
+            ref.model.power.psi(ref.expand_voltages([1.0, 1.0]))
+        )
+        per_core = block_psi.reshape(2, 4).sum(axis=1)
+        assert per_core == pytest.approx(
+            np.asarray(coarse_power.psi(np.array([1.0, 1.0])))
+        )
+
+    def test_invalid_k(self):
+        with pytest.raises(ThermalModelError):
+            build_refined_model(floorplan_2x1(), k=0)
+
+    def test_blocks_of(self):
+        ref = build_refined_model(floorplan_2x1(), k=2)
+        assert list(ref.blocks_of(0)) == [0, 1, 2, 3]
+        assert list(ref.blocks_of(1)) == [4, 5, 6, 7]
+
+
+class TestFidelity:
+    def test_steady_state_close_to_coarse(self, coarse3):
+        ref = build_refined_model(floorplan_3x1(), k=3)
+        th_c = coarse3.steady_state_cores([1.0, 0.8, 1.2])
+        th_r = ref.model.steady_state_cores(
+            ref.expand_voltages([1.0, 0.8, 1.2])
+        )
+        # The core-average of the refined field tracks the lumped node
+        # closely; the within-core gradient puts the hottest block a bit
+        # above it.
+        means = th_r.reshape(3, 9).mean(axis=1)
+        assert np.allclose(means, th_c, atol=0.35)
+        peaks = ref.core_peak(th_r)
+        assert np.all(peaks >= means - 1e-9)
+        assert np.allclose(peaks, th_c, atol=1.0)
+
+    def test_peak_error_small_on_schedules(self, coarse3, rng):
+        s = random_stepup_schedule(3, rng, period=0.03)
+        ref = build_refined_model(floorplan_3x1(), k=2)
+        coarse_pk, refined_pk, err = refined_peak_error(coarse3, ref, s)
+        # The paper's core-level lumping is good to a fraction of a Kelvin.
+        assert err < 0.5
+        assert err / max(coarse_pk, 1.0) < 0.02
+
+    def test_expand_schedule_shapes(self, coarse3):
+        s = two_mode_schedule([0.6] * 3, [1.3] * 3, [0.5] * 3, 0.02)
+        ref = build_refined_model(floorplan_3x1(), k=2)
+        exp = ref.expand_schedule(s)
+        assert exp.n_cores == 12
+        assert exp.n_intervals == s.n_intervals
+        assert exp.period == pytest.approx(s.period)

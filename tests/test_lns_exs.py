@@ -1,0 +1,101 @@
+"""Tests for the LNS and EXS baselines."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.continuous import continuous_assignment
+from repro.algorithms.exs import exs, exs_pruned
+from repro.algorithms.lns import lns
+from repro.errors import InfeasibleError
+from repro.platform import paper_platform
+
+
+class TestLNS:
+    def test_motivation_example(self):
+        p = paper_platform(3, n_levels=2, t_max_c=65.0)
+        r = lns(p)
+        assert r.throughput == pytest.approx(0.6)  # the paper's 0.6
+        assert r.feasible
+
+    def test_rounds_down_per_core(self):
+        p = paper_platform(3, n_levels=5, t_max_c=65.0)
+        cont = continuous_assignment(p)
+        r = lns(p)
+        volts = r.schedule.voltage_matrix[0]
+        for v_c, v_r in zip(cont.voltages, volts):
+            assert v_r <= v_c + 1e-9
+            assert p.ladder.contains(v_r)
+
+    def test_always_feasible(self):
+        for n in (2, 3, 6, 9):
+            for lv in (2, 5):
+                p = paper_platform(n, n_levels=lv, t_max_c=55.0)
+                assert lns(p).feasible
+
+    def test_more_levels_never_worse(self):
+        p2 = paper_platform(3, n_levels=2, t_max_c=60.0)
+        p5 = paper_platform(3, n_levels=5, t_max_c=60.0)
+        assert lns(p5).throughput >= lns(p2).throughput - 1e-12
+
+
+class TestEXS:
+    def test_motivation_example(self):
+        p = paper_platform(3, n_levels=2, t_max_c=65.0)
+        r = exs(p)
+        assert r.throughput == pytest.approx(0.8333, abs=1e-4)  # paper: 0.83
+        volts = sorted(r.schedule.voltage_matrix[0])
+        assert volts == pytest.approx([0.6, 0.6, 1.3])
+
+    def test_feasibility_of_result(self):
+        p = paper_platform(6, n_levels=3, t_max_c=55.0)
+        r = exs(p)
+        theta = p.model.steady_state_cores(r.schedule.voltage_matrix[0])
+        assert theta.max() <= p.theta_max + 1e-9
+
+    def test_beats_or_matches_lns(self):
+        for n in (2, 3, 6):
+            for lv in (2, 3, 4):
+                p = paper_platform(n, n_levels=lv, t_max_c=55.0)
+                assert exs(p).throughput >= lns(p).throughput - 1e-12
+
+    def test_infeasible_platform_raises(self):
+        # Threshold below what even all-lowest can satisfy.
+        p = paper_platform(9, n_levels=2, t_max_c=37.0)
+        theta = p.model.steady_state_cores(np.full(9, 0.6))
+        if theta.max() <= p.theta_max:
+            pytest.skip("all-low happens to be feasible at this threshold")
+        with pytest.raises(InfeasibleError):
+            exs(p)
+
+    def test_evaluation_count(self):
+        p = paper_platform(3, n_levels=4, t_max_c=55.0)
+        r = exs(p)
+        assert r.details["evaluations"] == 4**3
+
+
+class TestEXSPruned:
+    @pytest.mark.parametrize("n,lv", [(2, 2), (3, 3), (3, 5), (6, 2), (6, 3)])
+    def test_matches_naive(self, n, lv):
+        p = paper_platform(n, n_levels=lv, t_max_c=55.0)
+        naive = exs(p)
+        pruned = exs_pruned(p)
+        assert pruned.throughput == pytest.approx(naive.throughput)
+        assert pruned.peak_theta <= p.theta_max + 1e-9
+
+    def test_matches_naive_high_threshold(self):
+        p = paper_platform(3, n_levels=5, t_max_c=65.0)
+        assert exs_pruned(p).throughput == pytest.approx(exs(p).throughput)
+
+    def test_prunes_evaluations(self):
+        p = paper_platform(6, n_levels=4, t_max_c=50.0)
+        naive = exs(p)
+        pruned = exs_pruned(p)
+        assert pruned.details["evaluations"] < naive.details["evaluations"]
+
+    def test_infeasible_raises(self):
+        p = paper_platform(9, n_levels=2, t_max_c=37.0)
+        theta = p.model.steady_state_cores(np.full(9, 0.6))
+        if theta.max() <= p.theta_max:
+            pytest.skip("all-low happens to be feasible at this threshold")
+        with pytest.raises(InfeasibleError):
+            exs_pruned(p)

@@ -1,0 +1,102 @@
+"""Unit tests for the MatEx-style analytic interval solution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.thermal.matex import interval_peak, interval_solution
+
+
+class TestIntervalSolution:
+    def test_endpoints_match_propagate(self, model3, rng):
+        theta0 = rng.uniform(0, 20, size=model3.n_nodes)
+        v = [1.2, 0.6, 0.9]
+        sol = interval_solution(model3, theta0, v, 0.01)
+        assert np.allclose(sol.temperature_at(0.0), theta0, atol=1e-9)
+        assert np.allclose(
+            sol.end_temperature(), model3.propagate(theta0, 0.01, v), atol=1e-10
+        )
+
+    def test_temperatures_batch_consistent(self, model3, rng):
+        theta0 = rng.uniform(0, 20, size=model3.n_nodes)
+        sol = interval_solution(model3, theta0, [0.8, 0.8, 0.8], 0.02)
+        times = np.linspace(0, 0.02, 9)
+        batch = sol.temperatures(times)
+        for k, t in enumerate(times):
+            assert np.allclose(batch[k], sol.temperature_at(t))
+
+    def test_times_outside_interval_rejected(self, model3):
+        sol = interval_solution(
+            model3, np.zeros(model3.n_nodes), [0.8, 0.8, 0.8], 0.01
+        )
+        with pytest.raises(ThermalModelError):
+            sol.temperatures([0.02])
+        with pytest.raises(ThermalModelError):
+            sol.temperatures([-0.001])
+
+    def test_negative_length_rejected(self, model3):
+        with pytest.raises(ThermalModelError):
+            interval_solution(model3, np.zeros(model3.n_nodes), [0.6] * 3, -1.0)
+
+    def test_derivative_matches_finite_difference(self, model3, rng):
+        theta0 = rng.uniform(0, 25, size=model3.n_nodes)
+        sol = interval_solution(model3, theta0, [1.3, 0.6, 1.0], 0.05)
+        t, h = 0.013, 1e-7
+        for node in range(model3.n_nodes):
+            fd = (
+                sol.temperature_at(t + h)[node] - sol.temperature_at(t - h)[node]
+            ) / (2 * h)
+            assert sol.derivative_at(t, node) == pytest.approx(fd, rel=1e-5)
+
+
+class TestPeakSearch:
+    def test_rising_interval_peaks_at_end(self, model3):
+        # From ambient under constant power, temperature only rises.
+        val, node, when = interval_peak(
+            model3, np.zeros(model3.n_nodes), [1.3, 1.3, 1.3], 0.02
+        )
+        assert when == pytest.approx(0.02, abs=1e-9)
+        assert val == pytest.approx(
+            model3.propagate(np.zeros(model3.n_nodes), 0.02, [1.3] * 3).max(),
+            rel=1e-9,
+        )
+
+    def test_cooling_interval_peaks_at_start(self, model3):
+        hot = model3.steady_state([1.3, 1.3, 1.3])
+        val, node, when = interval_peak(model3, hot, [0.6, 0.6, 0.6], 0.05)
+        assert when == pytest.approx(0.0, abs=1e-9)
+        assert val == pytest.approx(hot.max(), rel=1e-12)
+
+    def test_interior_peak_found(self, model3):
+        # Start cold on core 0 but hot on core 2, run core 0 high: core 2
+        # decays while core 0 rises -> some node peaks strictly inside.
+        theta0 = model3.steady_state([0.0, 0.0, 1.3])
+        sol = interval_solution(model3, theta0, [1.3, 0.0, 0.0], 0.05)
+        val, node, when = sol.peak(grid=16, refine=True)
+        # Refinement must beat (or match) the coarse grid estimate.
+        coarse = sol.temperatures(np.linspace(0, 0.05, 16)).max()
+        assert val >= coarse - 1e-12
+
+    def test_refined_at_least_grid(self, model3, rng):
+        theta0 = rng.uniform(0, 30, size=model3.n_nodes)
+        sol = interval_solution(model3, theta0, [0.9, 1.2, 0.7], 0.02)
+        refined, _, _ = sol.peak(grid=8, refine=True)
+        dense = sol.temperatures(np.linspace(0, 0.02, 4096)).max()
+        assert refined >= dense - 1e-6
+
+    def test_cores_only_restriction(self, model6_stacked, rng):
+        theta0 = rng.uniform(0, 10, size=model6_stacked.n_nodes)
+        v = [1.3, 0.6, 1.3, 0.6, 1.3, 0.6]
+        val_all, node_all, _ = interval_peak(
+            model6_stacked, theta0, v, 0.1, cores_only=False
+        )
+        val_cores, node_cores, _ = interval_peak(
+            model6_stacked, theta0, v, 0.1, cores_only=True
+        )
+        assert val_cores <= val_all + 1e-12
+        assert node_cores in model6_stacked.network.core_nodes
+
+    def test_zero_length_peak_rejected(self, model3):
+        sol = interval_solution(model3, np.zeros(model3.n_nodes), [0.6] * 3, 0.0)
+        with pytest.raises(ThermalModelError):
+            sol.peak()

@@ -1,0 +1,76 @@
+"""Tests for the fixed-workload peak minimization (dual problem)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.minpeak import minimize_peak
+from repro.errors import SolverError
+from repro.platform import paper_platform
+from repro.schedule.properties import core_workloads, is_step_up
+
+
+@pytest.fixture(scope="module")
+def p3():
+    return paper_platform(3, n_levels=2, t_max_c=65.0)
+
+
+class TestMinimizePeak:
+    def test_realizes_target_workload(self, p3):
+        targets = np.array([0.9, 0.8, 1.1])
+        r = minimize_peak(p3, targets, period=0.02)
+        # Net of transition compensation the per-cycle work matches targets.
+        work = core_workloads(r.schedule) / r.schedule.period
+        # Overhead inflation makes gross work slightly exceed the target.
+        assert np.all(work >= targets - 1e-9)
+        assert np.all(work <= targets + 0.02)
+
+    def test_emits_stepup(self, p3):
+        r = minimize_peak(p3, [0.9, 0.9, 0.9])
+        assert is_step_up(r.schedule)
+
+    def test_peak_above_constant_bound(self, p3):
+        r = minimize_peak(p3, [1.0, 0.7, 1.2])
+        assert r.peak.value >= r.constant_bound_theta - 1e-6
+
+    def test_exact_levels_get_constant_schedule(self, p3):
+        r = minimize_peak(p3, [0.6, 1.3, 0.6])
+        assert r.m == 1
+        assert r.schedule.n_intervals == 1
+        # Constant schedule at exact levels achieves the bound exactly.
+        assert r.peak.value == pytest.approx(r.constant_bound_theta, abs=1e-9)
+
+    def test_idle_cores_supported(self, p3):
+        r = minimize_peak(p3, [0.9, 0.0, 0.9])
+        volts = r.schedule.voltage_matrix
+        assert np.all(volts[:, 1] == 0.0)
+        # Idling the middle core must run cooler than loading it.
+        r_full = minimize_peak(p3, [0.9, 0.9, 0.9])
+        assert r.peak.value < r_full.peak.value
+
+    def test_more_oscillation_cooler(self, p3):
+        # Compare the chosen-m result against a forced m=1 build.
+        from repro.algorithms.oscillation import (
+            build_oscillating_schedule,
+            plan_modes,
+        )
+        from repro.thermal.peak import peak_temperature
+
+        targets = np.array([1.0, 1.0, 1.0])
+        r = minimize_peak(p3, targets, period=0.02)
+        plan = plan_modes(p3, targets)
+        m1 = build_oscillating_schedule(plan, plan.high_ratio, 0.02, 1)
+        peak_m1 = peak_temperature(p3.model, m1).value
+        assert r.peak.value <= peak_m1 + 1e-9
+        assert r.m >= 1
+
+    def test_out_of_range_rejected(self, p3):
+        with pytest.raises(SolverError):
+            minimize_peak(p3, [1.5, 0.9, 0.9])
+        with pytest.raises(SolverError):
+            minimize_peak(p3, [0.5, 0.9, 0.9])
+        with pytest.raises(SolverError):
+            minimize_peak(p3, [0.9, 0.9])  # wrong shape
+
+    def test_summary_text(self, p3):
+        text = minimize_peak(p3, [0.9, 0.9, 0.9]).summary()
+        assert "min-peak" in text and "penalty" in text

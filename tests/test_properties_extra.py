@@ -1,0 +1,160 @@
+"""Additional property-based tests: transform algebra and model invariants.
+
+These go beyond the five theorems: algebraic identities of the schedule
+transforms, exactness results the paper doesn't state (Theorem 1 is exact
+for single-core platforms), serialization fuzzing, and linear-system
+invariants of the thermal engine.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.floorplan.layout import grid_floorplan
+from repro.power.model import PowerModel
+from repro.schedule.builders import random_schedule, random_stepup_schedule
+from repro.schedule.properties import core_workloads, is_step_up, throughput
+from repro.schedule.serialization import schedule_from_json, schedule_to_json
+from repro.schedule.transforms import m_oscillate, shift_core, step_up
+from repro.thermal.model import ThermalModel
+from repro.thermal.peak import peak_temperature, stepup_peak_temperature
+from repro.thermal.rc import build_single_layer_network
+
+LEVELS = (0.6, 0.8, 1.0, 1.2, 1.3)
+
+
+def _rng(seed):
+    return np.random.default_rng(seed)
+
+
+@pytest.fixture(scope="session")
+def model1():
+    """Single-core platform model."""
+    return ThermalModel(
+        build_single_layer_network(grid_floorplan(1, 1)), PowerModel()
+    )
+
+
+class TestTransformAlgebra:
+    @given(seed=st.integers(0, 5000), m1=st.integers(2, 5), m2=st.integers(2, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_oscillation_composes(self, seed, m1, m2):
+        s = random_schedule(3, _rng(seed), levels=LEVELS)
+        a = m_oscillate(m_oscillate(s, m1), m2)
+        b = m_oscillate(s, m1 * m2)
+        assert a.period == pytest.approx(b.period)
+        assert np.allclose(a.voltage_matrix, b.voltage_matrix)
+        assert np.allclose(a.lengths, b.lengths)
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=25, deadline=None)
+    def test_stepup_commutes_with_oscillation(self, seed):
+        # step_up(S(m)) == (step_up(S))(m): both orderings give the same
+        # per-core sorted content at 1/m scale.
+        s = random_schedule(3, _rng(seed), levels=LEVELS)
+        a = step_up(m_oscillate(s, 3))
+        b = m_oscillate(step_up(s), 3)
+        assert np.allclose(
+            core_workloads(a), core_workloads(b)
+        )
+        assert a.period == pytest.approx(b.period)
+        assert is_step_up(a) and is_step_up(b)
+
+    @given(seed=st.integers(0, 5000), frac1=st.floats(0.05, 0.95),
+           frac2=st.floats(0.05, 0.95))
+    @settings(max_examples=25, deadline=None)
+    def test_shifts_compose_additively(self, seed, frac1, frac2):
+        s = random_schedule(2, _rng(seed), levels=LEVELS)
+        t_p = s.period
+        a = shift_core(shift_core(s, 0, frac1 * t_p), 0, frac2 * t_p)
+        b = shift_core(s, 0, ((frac1 + frac2) % 1.0) * t_p)
+        ta = np.linspace(0, t_p, 37, endpoint=False)
+        va = np.array([a.voltage_at(t)[0] for t in ta])
+        vb = np.array([b.voltage_at(t)[0] for t in ta])
+        # Allow boundary-sample disagreement at interval edges.
+        assert (va == vb).mean() > 0.9
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=25, deadline=None)
+    def test_transforms_preserve_throughput(self, seed):
+        s = random_schedule(3, _rng(seed), levels=LEVELS)
+        base = throughput(s)
+        assert throughput(step_up(s)) == pytest.approx(base)
+        assert throughput(m_oscillate(s, 4)) == pytest.approx(base)
+        assert throughput(shift_core(s, 1, 0.3 * s.period)) == pytest.approx(base)
+
+
+class TestSingleCoreExactness:
+    """For N = 1, the period wrap always changes the core's own voltage
+    (or the schedule is constant), so the wrap-continuation epsilon
+    vanishes and Theorem 1 is *exact* — matching the single-core
+    literature the paper builds on ([25], [31])."""
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_theorem1_exact_for_single_core(self, model1, seed):
+        s = random_stepup_schedule(1, _rng(seed), levels=LEVELS, period=0.05)
+        literal = stepup_peak_temperature(
+            model1, s, check=False, wrap_refine=False
+        ).value
+        general = peak_temperature(
+            model1, s, stepup_fast_path=False, grid_per_interval=128
+        ).value
+        assert general <= literal + 1e-6
+
+
+class TestSerializationFuzz:
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_any_random_schedule(self, seed, n):
+        s = random_schedule(n, _rng(seed), levels=LEVELS)
+        back = schedule_from_json(schedule_to_json(s))
+        assert np.allclose(back.voltage_matrix, s.voltage_matrix)
+        assert np.allclose(back.lengths, s.lengths)
+        assert throughput(back) == pytest.approx(throughput(s))
+
+
+class TestThermalInvariants:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_steady_state_positive(self, model3_x, seed):
+        rng = _rng(seed)
+        v = rng.choice(np.asarray(LEVELS), size=3)
+        theta = model3_x.steady_state(v)
+        assert np.all(theta >= -1e-12)
+
+    @given(seed=st.integers(0, 10_000), scale=st.floats(0.1, 1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_peak_monotone_in_uniform_power_scale(self, model3_x, seed, scale):
+        # Scaling every injection down cannot raise the stable peak.
+        s = random_stepup_schedule(3, _rng(seed), levels=LEVELS, period=0.05)
+        full = stepup_peak_temperature(model3_x, s, check=False).value
+        # Build a 'scaled' model by scaling gamma/alpha.
+        pm = PowerModel(alpha_lin=0.1 * scale, gamma=5.0 * scale)
+        cooler_model = ThermalModel(
+            build_single_layer_network(grid_floorplan(1, 3)), pm
+        )
+        cooler = stepup_peak_temperature(cooler_model, s, check=False).value
+        assert cooler <= full + 1e-9
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_periodic_fixed_point_unique(self, model3_x, seed):
+        # Starting the period iteration anywhere converges to the same
+        # stable status (rho(K) < 1).
+        from repro.thermal.periodic import periodic_steady_state
+        from repro.thermal.transient import simulate_schedule_period
+
+        rng = _rng(seed)
+        s = random_schedule(3, rng, levels=LEVELS, period=0.05)
+        sol = periodic_steady_state(model3_x, s)
+        theta = rng.uniform(0, 50, model3_x.n_nodes)
+        for _ in range(250):
+            theta = simulate_schedule_period(model3_x, s, theta)
+        assert np.allclose(theta, sol.start_temperature, atol=1e-6)
+
+
+@pytest.fixture(scope="session")
+def model3_x(model3):
+    return model3

@@ -1,0 +1,138 @@
+"""Unit tests for RC network assembly (both topologies)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.floorplan.library import floorplan_2x1, floorplan_3x1, floorplan_3x3
+from repro.thermal.params import RCParams, SingleLayerParams
+from repro.thermal.rc import RCNetwork, build_rc_network, build_single_layer_network
+from repro.util.linalg import is_positive_definite, is_symmetric
+
+
+class TestSingleLayer:
+    def test_node_count(self):
+        net = build_single_layer_network(floorplan_3x1())
+        assert net.n_nodes == 3
+        assert net.n_cores == 3
+
+    def test_symmetry_and_definiteness(self):
+        net = build_single_layer_network(floorplan_3x3())
+        assert is_symmetric(net.conductance)
+        assert is_positive_definite(net.conductance)
+
+    def test_boundary_conductance_on_diagonal(self):
+        p = SingleLayerParams()
+        net = build_single_layer_network(floorplan_3x1(), p)
+        g = net.conductance
+        # Edge core: 3 exposed edges + 1 lateral link.
+        assert g[0, 0] == pytest.approx(p.g_direct + 3 * p.g_boundary + p.g_lateral)
+        # Middle core: 2 exposed edges + 2 lateral links.
+        assert g[1, 1] == pytest.approx(p.g_direct + 2 * p.g_boundary + 2 * p.g_lateral)
+
+    def test_lateral_off_diagonals(self):
+        p = SingleLayerParams()
+        net = build_single_layer_network(floorplan_3x1(), p)
+        g = net.conductance
+        assert g[0, 1] == pytest.approx(-p.g_lateral)
+        assert g[0, 2] == 0.0  # non-adjacent cores
+
+    def test_capacitances_uniform(self):
+        p = SingleLayerParams()
+        net = build_single_layer_network(floorplan_2x1(), p)
+        assert np.allclose(net.capacitance, p.c_core)
+
+    def test_injection_matrix_identity(self):
+        net = build_single_layer_network(floorplan_2x1())
+        assert np.array_equal(net.injection_matrix(), np.eye(2))
+
+
+class TestStacked:
+    def test_node_count(self):
+        net = build_rc_network(floorplan_3x1())
+        assert net.n_nodes == 2 * 3 + 1  # cores + spreaders + sink
+        assert net.n_cores == 3
+
+    def test_symmetry_and_definiteness(self):
+        net = build_rc_network(floorplan_3x3())
+        assert is_symmetric(net.conductance)
+        assert is_positive_definite(net.conductance)
+
+    def test_row_sums_ground_only_at_sink(self):
+        p = RCParams()
+        net = build_rc_network(floorplan_2x1(), p)
+        row_sums = net.conductance.sum(axis=1)
+        # Only the sink row carries the ambient ground conductance.
+        assert np.allclose(row_sums[:-1], 0.0, atol=1e-12)
+        assert row_sums[-1] == pytest.approx(p.g_sink_ambient)
+
+    def test_injection_matrix_targets_cores(self):
+        net = build_rc_network(floorplan_2x1())
+        sel = net.injection_matrix()
+        assert sel.shape == (5, 2)
+        assert np.array_equal(sel[:2], np.eye(2))
+        assert np.all(sel[2:] == 0)
+
+    def test_from_materials_sane(self):
+        fp = floorplan_3x1()
+        p = RCParams.from_materials(fp)
+        assert p.g_vertical > 0
+        assert p.c_core == pytest.approx(1.75e6 * 1.6e-5 * 1.5e-4)
+
+
+class TestRCNetworkValidation:
+    def test_rejects_asymmetric_g(self):
+        fp = floorplan_2x1()
+        g = np.array([[1.0, -0.5], [-0.4, 1.0]])
+        with pytest.raises(ThermalModelError):
+            RCNetwork(floorplan=fp, conductance=g, capacitance=np.ones(2),
+                      core_nodes=np.arange(2))
+
+    def test_rejects_ungrounded_network(self):
+        fp = floorplan_2x1()
+        # Pure Laplacian without ground: singular, not PD.
+        g = np.array([[0.5, -0.5], [-0.5, 0.5]])
+        with pytest.raises(ThermalModelError):
+            RCNetwork(floorplan=fp, conductance=g, capacitance=np.ones(2),
+                      core_nodes=np.arange(2))
+
+    def test_rejects_nonpositive_capacitance(self):
+        fp = floorplan_2x1()
+        g = np.eye(2)
+        with pytest.raises(ThermalModelError):
+            RCNetwork(floorplan=fp, conductance=g,
+                      capacitance=np.array([1.0, 0.0]), core_nodes=np.arange(2))
+
+    def test_rejects_mismatched_capacitance(self):
+        fp = floorplan_2x1()
+        with pytest.raises(ThermalModelError):
+            RCNetwork(floorplan=fp, conductance=np.eye(2),
+                      capacitance=np.ones(3), core_nodes=np.arange(2))
+
+
+class TestParams:
+    @pytest.mark.parametrize("field,value", [
+        ("g_direct", 0.0), ("g_direct", -1.0), ("c_core", 0.0),
+        ("g_boundary", -0.1), ("g_lateral", -0.1),
+    ])
+    def test_single_layer_validation(self, field, value):
+        with pytest.raises(ThermalModelError):
+            SingleLayerParams(**{field: value})
+
+    @pytest.mark.parametrize("field", ["g_vertical", "g_spreader_sink", "c_sink"])
+    def test_stacked_validation(self, field):
+        with pytest.raises(ThermalModelError):
+            RCParams(**{field: 0.0})
+
+    def test_scaled(self):
+        p = SingleLayerParams()
+        q = p.scaled(c_core=2.0, g_lateral=0.5)
+        assert q.c_core == pytest.approx(2 * p.c_core)
+        assert q.g_lateral == pytest.approx(0.5 * p.g_lateral)
+        assert q.g_direct == p.g_direct
+
+    def test_scaled_unknown_field(self):
+        with pytest.raises(ThermalModelError):
+            SingleLayerParams().scaled(bogus=1.0)
+        with pytest.raises(ThermalModelError):
+            RCParams().scaled(bogus=1.0)

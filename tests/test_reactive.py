@@ -1,0 +1,70 @@
+"""Tests for the reactive-DTM baseline."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ao
+from repro.algorithms.reactive import reactive_throttling
+from repro.errors import SolverError
+from repro.experiments.reactive_comparison import reactive_comparison
+from repro.platform import paper_platform
+
+
+@pytest.fixture(scope="module")
+def p3():
+    return paper_platform(3, n_levels=2, t_max_c=65.0)
+
+
+class TestReactiveGovernor:
+    def test_zero_guard_overshoots(self, p3):
+        r = reactive_throttling(p3, guard_band=0.0)
+        assert r.details["overshoot_k"] > 0
+        assert not r.feasible
+
+    def test_large_guard_is_safe_but_slower(self, p3):
+        safe = reactive_throttling(p3, guard_band=4.0)
+        aggressive = reactive_throttling(p3, guard_band=0.0)
+        assert safe.feasible
+        assert safe.throughput < aggressive.throughput
+
+    def test_throughput_monotone_in_guard(self, p3):
+        thr = [
+            reactive_throttling(p3, guard_band=g).throughput
+            for g in (0.0, 2.0, 4.0, 8.0)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(thr, thr[1:]))
+
+    def test_slower_sensor_overshoots_more(self, p3):
+        fast = reactive_throttling(p3, guard_band=0.0, sensor_period=0.5e-3)
+        slow = reactive_throttling(p3, guard_band=0.0, sensor_period=4e-3)
+        assert slow.details["overshoot_k"] >= fast.details["overshoot_k"] - 1e-9
+
+    def test_trace_recorded(self, p3):
+        r = reactive_throttling(p3, guard_band=1.0)
+        trace = r.details["trace"]
+        assert trace.times.shape[0] == trace.temperatures.shape[0]
+        assert trace.levels.shape[1] == 3
+        # The governor actually throttles: levels vary over time.
+        assert np.unique(trace.levels).size >= 2
+
+    def test_invalid_sensor_period(self, p3):
+        with pytest.raises(SolverError):
+            reactive_throttling(p3, sensor_period=0.0)
+
+    def test_ao_dominates_feasible_settings(self, p3):
+        r_ao = ao(p3, m_cap=24)
+        for g in (2.0, 4.0, 8.0):
+            r = reactive_throttling(p3, guard_band=g)
+            if r.feasible:
+                assert r_ao.throughput >= r.throughput - 1e-9
+
+
+class TestComparison:
+    def test_experiment_shape(self):
+        result = reactive_comparison(guard_bands=(0.0, 4.0), m_cap=12)
+        assert result.ao_dominates
+        assert "Reactive" in result.format()
+        # The zero-guard row violates, the big-guard row does not.
+        violations = {g: ok for g, _t, _o, ok in result.rows}
+        assert violations[0.0] is False
+        assert violations[4.0] is True

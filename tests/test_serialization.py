@@ -1,0 +1,91 @@
+"""Tests for schedule/result JSON serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ao
+from repro.errors import ScheduleError
+from repro.platform import paper_platform
+from repro.schedule.builders import random_schedule, two_mode_schedule
+from repro.schedule.serialization import (
+    result_to_dict,
+    schedule_from_dict,
+    schedule_from_json,
+    schedule_to_dict,
+    schedule_to_json,
+)
+
+
+class TestScheduleRoundtrip:
+    def test_roundtrip_preserves_everything(self, rng):
+        s = random_schedule(4, rng)
+        back = schedule_from_json(schedule_to_json(s))
+        assert back.n_cores == s.n_cores
+        assert np.allclose(back.lengths, s.lengths)
+        assert np.allclose(back.voltage_matrix, s.voltage_matrix)
+
+    def test_json_is_plain(self):
+        s = two_mode_schedule([0.6], [1.3], [0.5], 0.02)
+        doc = json.loads(schedule_to_json(s))
+        assert doc["format"] == "repro.schedule"
+        assert doc["version"] == 1
+        assert doc["n_cores"] == 1
+        assert len(doc["intervals"]) == 2
+
+    def test_indent_option(self):
+        s = two_mode_schedule([0.6], [1.3], [0.5], 0.02)
+        assert "\n" in schedule_to_json(s, indent=2)
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ScheduleError):
+            schedule_from_dict({"format": "something-else"})
+
+    def test_rejects_wrong_version(self):
+        s = two_mode_schedule([0.6], [1.3], [0.5], 0.02)
+        doc = schedule_to_dict(s)
+        doc["version"] = 99
+        with pytest.raises(ScheduleError):
+            schedule_from_dict(doc)
+
+    def test_rejects_core_count_mismatch(self):
+        s = two_mode_schedule([0.6, 0.6], [1.3, 1.3], [0.5, 0.5], 0.02)
+        doc = schedule_to_dict(s)
+        doc["n_cores"] = 5
+        with pytest.raises(ScheduleError):
+            schedule_from_dict(doc)
+
+    def test_rejects_malformed_intervals(self):
+        with pytest.raises(ScheduleError):
+            schedule_from_dict(
+                {
+                    "format": "repro.schedule",
+                    "version": 1,
+                    "intervals": [{"length_s": 1.0}],  # missing voltages
+                }
+            )
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(ScheduleError):
+            schedule_from_json("{not json")
+
+
+class TestResultSerialization:
+    def test_ao_result_jsonable(self):
+        p = paper_platform(3, n_levels=2, t_max_c=65.0)
+        r = ao(p, m_cap=8)
+        doc = result_to_dict(r)
+        text = json.dumps(doc)  # must not raise
+        parsed = json.loads(text)
+        assert parsed["name"] == "AO"
+        assert parsed["feasible"] is True
+        assert parsed["schedule"]["n_cores"] == 3
+        assert "m_opt" in parsed["details"]
+
+    def test_schedule_embedded_roundtrip(self):
+        p = paper_platform(2, n_levels=2, t_max_c=65.0)
+        r = ao(p, m_cap=8)
+        doc = result_to_dict(r)
+        back = schedule_from_dict(doc["schedule"])
+        assert np.allclose(back.voltage_matrix, r.schedule.voltage_matrix)

@@ -1,0 +1,184 @@
+"""Property-based verification of the paper's Theorems 1-5 and Property 1.
+
+Each theorem is exercised over randomized schedules/parameters via
+hypothesis, using the executable checks in :mod:`repro.analysis.theorems`.
+All checks run on the calibrated single-layer model — the paper's own
+model class, where the inequalities are exact (see EXPERIMENTS.md for the
+stacked-topology caveat on Theorem 1).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.theorems import (
+    check_cooling_property,
+    check_theorem1,
+    check_theorem2,
+    check_theorem3,
+    check_theorem4,
+    check_theorem5,
+)
+from repro.errors import ScheduleError
+from repro.schedule.builders import random_schedule, random_stepup_schedule
+
+LEVELS = (0.6, 0.8, 1.0, 1.2, 1.3)
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+class TestTheorem1:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_stepup_peak_at_end(self, model3_session, seed):
+        s = random_stepup_schedule(3, _rng(seed), levels=LEVELS, period=0.05)
+        report = check_theorem1(model3_session, s)
+        assert report.holds, f"{report.lhs} > {report.rhs}"
+
+    def test_rejects_non_stepup(self, model3_session):
+        from repro.schedule.builders import two_mode_schedule
+
+        s = two_mode_schedule([0.6] * 3, [1.3] * 3, [0.5] * 3, 0.01,
+                              high_first=True)
+        with pytest.raises(ScheduleError):
+            check_theorem1(model3_session, s)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_long_period_stepup(self, model3_session, seed):
+        # Periods far above the thermal time constants: quasi-steady regime.
+        s = random_stepup_schedule(3, _rng(seed), levels=LEVELS, period=2.0)
+        assert check_theorem1(model3_session, s).holds
+
+
+class TestTheorem2:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_stepup_bounds_random_schedule(self, model3_session, seed):
+        s = random_schedule(3, _rng(seed), levels=LEVELS, period=0.05)
+        report = check_theorem2(model3_session, s)
+        assert report.holds, f"{report.lhs} > {report.rhs}"
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_bound_on_two_cores(self, model2_session, seed):
+        s = random_schedule(2, _rng(seed), levels=LEVELS, period=0.1,
+                            max_segments=4)
+        assert check_theorem2(model2_session, s).holds
+
+
+class TestTheorem3:
+    @given(
+        v_const=st.floats(0.65, 1.25),
+        spread=st.floats(0.02, 0.3),
+        period=st.floats(0.005, 0.2),
+        core=st.integers(0, 2),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_constant_beats_two_speed(self, model3_session, v_const, spread,
+                                      period, core):
+        v_low = max(0.6, v_const - spread)
+        v_high = min(1.3, v_const + spread)
+        if v_high - v_low < 1e-3:
+            return
+        report = check_theorem3(
+            model3_session, v_const, v_low, v_high, period, core=core
+        )
+        assert report.holds, f"{report.lhs} > {report.rhs}"
+
+    def test_validation(self, model3_session):
+        with pytest.raises(ScheduleError):
+            check_theorem3(model3_session, 0.9, 1.0, 1.2, 0.01)
+
+
+class TestTheorem4:
+    @given(
+        v_target=st.floats(0.85, 1.1),
+        inner_spread=st.floats(0.02, 0.12),
+        extra=st.floats(0.02, 0.15),
+        period=st.floats(0.005, 0.1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_neighboring_beats_wider(self, model3_session, v_target,
+                                     inner_spread, extra, period):
+        li = max(0.6, v_target - inner_spread)
+        hi = min(1.3, v_target + inner_spread)
+        lo = max(0.6, li - extra)
+        ho = min(1.3, hi + extra)
+        if not (lo <= li <= v_target <= hi <= ho) or hi - li < 1e-3:
+            return
+        report = check_theorem4(
+            model3_session, (li, hi), (lo, ho), v_target, period
+        )
+        assert report.holds, f"{report.lhs} > {report.rhs}"
+
+    def test_validation(self, model3_session):
+        with pytest.raises(ScheduleError):
+            check_theorem4(model3_session, (0.8, 1.0), (0.9, 1.2), 0.9, 0.01)
+
+
+class TestTheorem5:
+    @given(seed=st.integers(0, 10_000), m=st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_peak_decreases_with_m(self, model3_session, seed, m):
+        s = random_stepup_schedule(3, _rng(seed), levels=LEVELS, period=0.1)
+        report = check_theorem5(model3_session, s, m)
+        assert report.holds, f"{report.lhs} > {report.rhs}"
+
+    @given(seed=st.integers(0, 1_000))
+    @settings(max_examples=10, deadline=None)
+    def test_full_monotone_chain(self, model3_session, seed):
+        from repro.schedule.transforms import m_oscillate
+        from repro.thermal.peak import stepup_peak_temperature
+
+        s = random_stepup_schedule(3, _rng(seed), levels=LEVELS, period=0.2)
+        peaks = [
+            stepup_peak_temperature(
+                model3_session, m_oscillate(s, m), check=False
+            ).value
+            for m in range(1, 9)
+        ]
+        assert np.all(np.diff(peaks) <= 1e-9)
+
+    def test_rejects_non_stepup(self, model3_session):
+        from repro.schedule.builders import two_mode_schedule
+
+        s = two_mode_schedule([0.6] * 3, [1.3] * 3, [0.5] * 3, 0.01,
+                              high_first=True)
+        with pytest.raises(ScheduleError):
+            check_theorem5(model3_session, s, 2)
+
+
+class TestCoolingProperty:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_decay_from_steady_states(self, model3_session, seed):
+        # From any reachable (steady-state) temperature, all-off cooling is
+        # monotone on every node.
+        rng = _rng(seed)
+        v = rng.choice(np.asarray(LEVELS), size=3)
+        theta0 = model3_session.steady_state(v)
+        report = check_cooling_property(model3_session, theta0, horizon=0.2)
+        assert report.holds, f"max increase {report.lhs}"
+
+    def test_rejects_below_ambient_start(self, model3_session):
+        with pytest.raises(ScheduleError):
+            check_cooling_property(
+                model3_session, -np.ones(model3_session.n_nodes), horizon=0.1
+            )
+
+
+# Session-scoped model fixtures local to this module (hypothesis requires
+# function-scoped fixtures not to be reused across examples, so we alias the
+# session fixtures under distinct names).
+@pytest.fixture(scope="session")
+def model3_session(model3):
+    return model3
+
+
+@pytest.fixture(scope="session")
+def model2_session(model2):
+    return model2

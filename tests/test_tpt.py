@@ -1,0 +1,137 @@
+"""Tests for the TPT ratio-adjustment loops."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.continuous import continuous_assignment
+from repro.algorithms.oscillation import (
+    adjusted_high_ratios,
+    build_oscillating_schedule,
+    plan_modes,
+)
+from repro.algorithms.tpt import enforce_threshold, fill_headroom
+from repro.errors import ConvergenceError
+from repro.platform import paper_platform
+from repro.thermal.peak import peak_temperature, stepup_peak_temperature
+
+
+@pytest.fixture(scope="module")
+def setup():
+    p = paper_platform(3, n_levels=2, t_max_c=65.0, tau=0.0)
+    cont = continuous_assignment(p)
+    plan = plan_modes(p, cont.voltages)
+    return p, plan
+
+
+class TestEnforceThreshold:
+    def test_reaches_feasibility(self, setup):
+        p, plan = setup
+        ratios, sched, peak, iters = enforce_threshold(
+            p, plan, plan.high_ratio, period=0.02, m=1
+        )
+        assert peak.value <= p.theta_max + 1e-9
+        assert iters >= 1
+        assert np.all(ratios <= plan.high_ratio + 1e-12)
+
+    def test_already_feasible_no_iterations(self, setup):
+        p, plan = setup
+        # A tiny high ratio everywhere is trivially feasible.
+        cold = np.full(3, 0.01)
+        ratios, _, peak, iters = enforce_threshold(
+            p, plan, cold, period=0.02, m=1
+        )
+        assert iters == 0
+        assert np.allclose(ratios, cold)
+        assert peak.value <= p.theta_max
+
+    def test_adaptive_cheaper_and_comparable(self, setup):
+        # The greedy loop has path-dependent fixed points; adaptive batching
+        # must stay feasible, cost fewer iterations, and land within a few
+        # percent of the literal loop's throughput.
+        p, plan = setup
+        t_unit = 0.02 / 50
+        r_fast, s_fast, pk_fast, it_fast = enforce_threshold(
+            p, plan, plan.high_ratio, 0.02, 1, t_unit=t_unit, adaptive=True
+        )
+        r_slow, s_slow, pk_slow, it_slow = enforce_threshold(
+            p, plan, plan.high_ratio, 0.02, 1, t_unit=t_unit, adaptive=False
+        )
+        assert pk_fast.value <= p.theta_max + 1e-9
+        assert pk_slow.value <= p.theta_max + 1e-9
+        assert it_fast <= it_slow
+        from repro.schedule.properties import throughput
+
+        assert throughput(s_fast) >= throughput(s_slow) - 0.05
+
+    def test_respects_custom_peak_fn(self, setup):
+        p, plan = setup
+        calls = []
+
+        def spy(sched):
+            calls.append(1)
+            return stepup_peak_temperature(p.model, sched, check=False)
+
+        enforce_threshold(p, plan, plan.high_ratio, 0.02, 1, peak_fn=spy)
+        assert len(calls) > 0
+
+    def test_iteration_budget(self, setup):
+        p, plan = setup
+        with pytest.raises(ConvergenceError):
+            enforce_threshold(
+                p, plan, plan.high_ratio, 0.02, 1, max_iter=0
+            )
+
+    def test_ratios_never_negative(self, setup):
+        p_cold = paper_platform(3, n_levels=2, t_max_c=41.0, tau=0.0)
+        cont = continuous_assignment(p_cold)
+        plan = plan_modes(p_cold, cont.voltages)
+        ratios, _, peak, _ = enforce_threshold(
+            p_cold, plan, np.full(3, 0.9), period=0.02, m=1
+        )
+        assert np.all(ratios >= 0)
+        assert peak.value <= p_cold.theta_max + 1e-9
+
+
+class TestFillHeadroom:
+    def test_consumes_headroom(self, setup):
+        p, plan = setup
+        start = np.full(3, 0.05)
+        ratios, sched, peak, iters = fill_headroom(
+            p, plan, start, period=0.02, m=4
+        )
+        assert np.all(ratios >= start - 1e-12)
+        assert ratios.sum() > start.sum()
+        assert peak.value <= p.theta_max + 1e-9
+
+    def test_stops_at_threshold(self, setup):
+        p, plan = setup
+        ratios, sched, peak, _ = fill_headroom(
+            p, plan, np.full(3, 0.05), period=0.02, m=8
+        )
+        # After the fill, no core can grow by one more quantum feasibly --
+        # equivalently the peak sits close under the threshold or every
+        # ratio has saturated.
+        saturated = np.all(ratios >= 1 - 1e-9)
+        assert saturated or peak.value > p.theta_max - 1.0
+
+    def test_respects_threshold_with_general_engine(self, setup):
+        p, plan = setup
+
+        def general(sched):
+            return peak_temperature(p.model, sched)
+
+        ratios, sched, peak, _ = fill_headroom(
+            p, plan, np.full(3, 0.1), period=0.02, m=4, peak_fn=general
+        )
+        assert peak.value <= p.theta_max + 1e-9
+
+    def test_fill_after_enforce_never_loses_throughput(self, setup):
+        from repro.schedule.properties import throughput
+
+        p, plan = setup
+        ratios, s0, peak, _ = enforce_threshold(
+            p, plan, plan.high_ratio, period=0.02, m=1
+        )
+        r2, s2, pk2, iters = fill_headroom(p, plan, ratios, period=0.02, m=1)
+        assert pk2.value <= p.theta_max + 1e-9
+        assert throughput(s2) >= throughput(s0) - 1e-12

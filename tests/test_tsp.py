@@ -1,0 +1,77 @@
+"""Tests for the Thermal Safe Power baseline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tsp import thermal_safe_power, tsp_throughput
+from repro.errors import SolverError
+from repro.experiments.tsp_comparison import tsp_comparison
+from repro.platform import paper_platform
+
+
+class TestThermalSafePower:
+    @pytest.fixture(scope="class")
+    def p9(self):
+        return paper_platform(9, n_levels=2, t_max_c=55.0)
+
+    def test_budget_decreases_with_active_count(self, p9):
+        budgets = [thermal_safe_power(p9, k).power_per_core for k in range(1, 10)]
+        assert all(b >= a - 1e-12 for a, b in zip(budgets, budgets[1:])) is False
+        assert all(a >= b - 1e-12 for a, b in zip(budgets, budgets[1:]))
+
+    def test_budget_is_safe_on_worst_set(self, p9):
+        res = thermal_safe_power(p9, 4)
+        psi = np.zeros(9)
+        psi[list(res.worst_set)] = res.power_per_core
+        theta = np.linalg.solve(p9.model.g_eff, psi)
+        assert theta.max() == pytest.approx(p9.theta_max, rel=1e-9)
+
+    def test_budget_is_safe_on_every_set(self, p9):
+        # Exhaustively verify the definition for a small k.
+        import itertools
+
+        res = thermal_safe_power(p9, 2)
+        for subset in itertools.combinations(range(9), 2):
+            psi = np.zeros(9)
+            psi[list(subset)] = res.power_per_core
+            theta = np.linalg.solve(p9.model.g_eff, psi)
+            assert theta.max() <= p9.theta_max + 1e-9
+
+    def test_full_chip_worst_set_is_everything(self, p9):
+        res = thermal_safe_power(p9, 9)
+        assert res.worst_set == tuple(range(9))
+        assert res.exact
+
+    def test_invalid_count(self, p9):
+        with pytest.raises(SolverError):
+            thermal_safe_power(p9, 0)
+        with pytest.raises(SolverError):
+            thermal_safe_power(p9, 10)
+
+    def test_worst_set_is_clustered(self, p9):
+        # The hottest placement packs cores together (mutual heating).
+        res = thermal_safe_power(p9, 4)
+        rows = [c // 3 for c in res.worst_set]
+        cols = [c % 3 for c in res.worst_set]
+        assert max(rows) - min(rows) <= 1
+        assert max(cols) - min(cols) <= 1
+
+
+class TestTSPThroughput:
+    def test_bounded_by_ladder(self):
+        p = paper_platform(3, n_levels=2, t_max_c=55.0)
+        thr = tsp_throughput(p)
+        assert 0.0 <= thr <= p.ladder.v_max
+
+    def test_specific_count(self):
+        p = paper_platform(3, n_levels=5, t_max_c=65.0)
+        thr_all = tsp_throughput(p, n_active=3)
+        thr_best = tsp_throughput(p)
+        assert thr_best >= thr_all - 1e-12
+
+
+class TestComparison:
+    def test_ao_dominates_tsp(self):
+        r = tsp_comparison(core_counts=(2, 3), m_cap=12)
+        assert r.ao_always_wins
+        assert "TSP" in r.format()
