@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Smoke-run the solver micro-benchmarks and snapshot the numbers.
+
+Runs the thermal-kernel benchmarks (``benchmarks/bench_solvers.py``) and
+the batched-engine benchmarks (``benchmarks/bench_batch.py``) with
+reduced rounds, then writes the pytest-benchmark JSON report to
+``BENCH_solvers.json`` at the repo root — a cheap regression tripwire
+for the hot path, not a rigorous measurement.
+
+Usage: python scripts/bench_smoke.py [extra pytest args...]
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPORT = REPO_ROOT / "BENCH_solvers.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    # pytest-benchmark truncates the json path while parsing arguments, so
+    # aim it at a scratch file and only replace the report on success.
+    scratch = REPORT.with_suffix(".json.tmp")
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "benchmarks/bench_solvers.py",
+        "benchmarks/bench_batch.py",
+        "-q",
+        "--benchmark-warmup=on",
+        "--benchmark-min-rounds=2",
+        "--benchmark-max-time=0.25",
+        f"--benchmark-json={scratch}",
+        *argv,
+    ]
+    proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+    if proc.returncode == 0 and scratch.exists():
+        scratch.replace(REPORT)
+        print(f"wrote {REPORT}")
+    else:
+        scratch.unlink(missing_ok=True)
+    return proc.returncode
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

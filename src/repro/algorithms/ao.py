@@ -21,10 +21,13 @@ from __future__ import annotations
 
 import time
 
+import numpy as np
+
 from repro.algorithms.base import SchedulerResult
 from repro.algorithms.continuous import continuous_assignment
 from repro.algorithms.oscillation import (
     DEFAULT_M_CAP,
+    ModePlan,
     adjusted_high_ratios,
     build_oscillating_schedule,
     choose_m,
@@ -33,9 +36,114 @@ from repro.algorithms.oscillation import (
 )
 from repro.algorithms.tpt import enforce_threshold, fill_headroom
 from repro.platform import Platform
+from repro.schedule.builders import constant_schedule
+from repro.schedule.periodic import PeriodicSchedule
 from repro.thermal.peak import peak_temperature, stepup_peak_temperature
 
-__all__ = ["ao"]
+__all__ = ["ao", "best_constant_above", "constant_floor_guard"]
+
+
+def best_constant_above(
+    platform: Platform,
+    plan: ModePlan,
+    incumbent_sum: float,
+) -> np.ndarray | None:
+    """Best feasible constant assignment strictly beating ``incumbent_sum``.
+
+    Monotonicity-pruned DFS (the :func:`repro.algorithms.exs.exs_pruned`
+    structure) over the voltage ladder, seeded with two incumbents: the
+    caller's throughput sum and the lower-neighbor floor ``plan.v_low``
+    (feasible whenever the continuous assignment was, by monotonicity).
+    With the incumbent at AO's own throughput the bound prune kills almost
+    every subtree — AO usually dominates every constant assignment — so
+    this guard costs a handful of cached steady-state solves unless a
+    constant assignment genuinely wins.  Cores the plan power-gates
+    (target voltage 0) stay gated.
+
+    Returns the winning voltage vector, or ``None`` when nothing feasible
+    beats the incumbent.
+    """
+    model = platform.model
+    theta_max = platform.theta_max
+    levels = sorted(float(v) for v in platform.ladder.levels)
+    v_min = levels[0]
+    active = np.where(plan.target_voltages > 0.0)[0]
+    n_active = active.size
+
+    best_sum = float(incumbent_sum)
+    best_volts: np.ndarray | None = None
+
+    floor = plan.v_low.astype(float)
+    if (
+        float(model.steady_state_cores(floor).max()) <= theta_max + 1e-9
+        and float(floor.sum()) > best_sum + 1e-12
+    ):
+        best_sum = float(floor.sum())
+        best_volts = floor.copy()
+
+    assignment = np.zeros(plan.n_cores)
+    assignment[active] = v_min
+
+    def feasible(volts: np.ndarray) -> bool:
+        return float(model.steady_state_cores(volts).max()) <= theta_max + 1e-9
+
+    def dfs(pos: int, partial_sum: float) -> None:
+        nonlocal best_sum, best_volts
+        remaining = n_active - pos
+        if partial_sum + remaining * levels[-1] <= best_sum + 1e-12:
+            return
+        if pos == n_active:
+            if feasible(assignment):
+                best_sum = partial_sum
+                best_volts = assignment.copy()
+            return
+        core = active[pos]
+        for lvl in reversed(levels):
+            assignment[core] = lvl
+            # Optimistic completion: all remaining active cores at v_min.
+            optimistic = assignment.copy()
+            optimistic[active[pos + 1 :]] = v_min
+            if not feasible(optimistic):
+                assignment[core] = v_min
+                continue
+            dfs(pos + 1, partial_sum + lvl)
+        assignment[core] = v_min
+
+    if n_active:
+        dfs(0, 0.0)
+    elif best_volts is None and feasible(assignment) and 0.0 > best_sum + 1e-12:
+        best_volts = assignment.copy()
+    return best_volts
+
+
+def constant_floor_guard(
+    platform: Platform,
+    plan: ModePlan,
+    period: float,
+    sched: PeriodicSchedule,
+    peak_value: float,
+    throughput: float,
+) -> tuple[PeriodicSchedule, float, float, np.ndarray | None]:
+    """Keep the better of the candidate schedule and the best constant one.
+
+    Ratio adjustment can land an oscillating schedule marginally below the
+    best feasible *constant* assignment (EXS's answer), breaking the
+    paper's AO >= EXS ordering.  This guard searches the constant lattice
+    above the schedule's own throughput (pruned hard by that incumbent)
+    and swaps the winner in when one exists.
+
+    Returns ``(schedule, peak_value, throughput, floor_voltages)`` with
+    ``floor_voltages`` set only when the swap happened.
+    """
+    floor_volts = best_constant_above(
+        platform, plan, incumbent_sum=throughput * platform.n_cores
+    )
+    if floor_volts is None:
+        return sched, peak_value, throughput, None
+    floor_sched = constant_schedule(floor_volts, period=period)
+    floor_throughput = float(effective_throughput(floor_sched, platform))
+    floor_peak = float(platform.model.steady_state_cores(floor_volts).max())
+    return floor_sched, floor_peak, floor_throughput, floor_volts
 
 
 def ao(
@@ -112,17 +220,31 @@ def ao(
     # TPT pass priced with the exact engine.
     exact = peak_temperature(platform.model, sched, grid_per_interval=96)
     if exact.value > platform.theta_max + 1e-6 and plan.oscillating.any():
+        from repro.thermal.batch import peak_temperature_batch
+
         def exact_fn(s):
             return peak_temperature(platform.model, s, grid_per_interval=96)
 
+        def exact_batch_fn(scheds):
+            return peak_temperature_batch(
+                platform.model, scheds, grid_per_interval=96
+            )
+
         ratios, sched, exact, extra = enforce_threshold(
             platform, plan, ratios, period, m_opt,
-            t_unit=t_unit, adaptive=adaptive, peak_fn=exact_fn,
+            t_unit=t_unit, adaptive=adaptive,
+            peak_fn=exact_fn, peak_batch_fn=exact_batch_fn,
         )
         tpt_iters += extra
-    peak = exact
+    peak_value = float(exact.value)
 
-    throughput = effective_throughput(sched, platform)
+    # Restore the paper's AO >= EXS ordering: ratio adjustment can end
+    # marginally below the best feasible constant assignment, in which
+    # case the lower-neighbor floor wins and we emit it instead.
+    throughput = float(effective_throughput(sched, platform))
+    sched, peak_value, throughput, floor_volts = constant_floor_guard(
+        platform, plan, period, sched, peak_value, throughput
+    )
     elapsed = time.perf_counter() - t0
     details.update(
         {
@@ -132,12 +254,14 @@ def ao(
             "fill_iterations": fill_iters,
         }
     )
+    if floor_volts is not None:
+        details["constant_floor"] = floor_volts
     return SchedulerResult(
         name="AO",
         schedule=sched,
-        throughput=float(throughput),
-        peak_theta=float(peak.value),
-        feasible=bool(peak.value <= platform.theta_max + 1e-6),
+        throughput=throughput,
+        peak_theta=peak_value,
+        feasible=bool(peak_value <= platform.theta_max + 1e-6),
         runtime_s=elapsed,
         details=details,
     )

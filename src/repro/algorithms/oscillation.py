@@ -157,19 +157,42 @@ def choose_m(
     period: float,
     m_cap: int = DEFAULT_M_CAP,
     m_step: int = 1,
+    batch: bool = True,
 ) -> tuple[int, PeriodicSchedule, list[tuple[int, float]]]:
     """Linear scan over m; return the peak-minimizing oscillation count.
 
     Returns ``(m_opt, schedule_at_m_opt, history)`` where history holds
     the scanned ``(m, peak)`` pairs for diagnostics and Fig. 5-style plots.
+
+    With ``batch`` (default) the whole sweep is priced through the batched
+    stable-status engine in one call; ``batch=False`` keeps the scalar
+    per-candidate loop (the two paths select the same m).
     """
     m_max = max_m_bound(platform, plan, period, cap=m_cap)
+    candidates = list(range(1, m_max + 1, max(1, m_step)))
+    schedules = [
+        build_oscillating_schedule(
+            plan, adjusted_high_ratios(platform, plan, m, period), period, m
+        )
+        for m in candidates
+    ]
+    if batch:
+        from repro.thermal.batch import stepup_peak_temperature_batch
+
+        peaks = [
+            r.value
+            for r in stepup_peak_temperature_batch(
+                platform.model, schedules, check=False
+            )
+        ]
+    else:
+        peaks = [
+            stepup_peak_temperature(platform.model, sched, check=False).value
+            for sched in schedules
+        ]
     history: list[tuple[int, float]] = []
     best_m, best_peak, best_sched = 1, np.inf, None
-    for m in range(1, m_max + 1, max(1, m_step)):
-        ratios = adjusted_high_ratios(platform, plan, m, period)
-        sched = build_oscillating_schedule(plan, ratios, period, m)
-        peak = stepup_peak_temperature(platform.model, sched, check=False).value
+    for m, sched, peak in zip(candidates, schedules, peaks):
         history.append((m, peak))
         if peak < best_peak - 1e-12:
             best_m, best_peak, best_sched = m, peak, sched

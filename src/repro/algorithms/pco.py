@@ -18,7 +18,7 @@ import time
 
 import numpy as np
 
-from repro.algorithms.ao import ao
+from repro.algorithms.ao import ao, constant_floor_guard
 from repro.algorithms.base import SchedulerResult
 from repro.algorithms.oscillation import (
     DEFAULT_M_CAP,
@@ -29,6 +29,7 @@ from repro.algorithms.oscillation import (
 from repro.algorithms.tpt import fill_headroom
 from repro.platform import Platform
 from repro.schedule.transforms import shift_core
+from repro.thermal.batch import peak_temperature_batch
 from repro.thermal.peak import peak_temperature
 
 __all__ = ["pco"]
@@ -70,19 +71,22 @@ def pco(
     def general_peak(sched):
         return peak_temperature(platform.model, sched)
 
+    def general_peak_batch(scheds):
+        return peak_temperature_batch(platform.model, scheds)
+
     # Greedy sequential phase search: shift one core at a time, keep the
-    # offset that minimizes the (general) stable peak.
+    # offset that minimizes the (general) stable peak.  Each core's whole
+    # offset grid is priced as one batch.
     sched = build_oscillating_schedule(plan, ratios, period, m_opt)
     peak = general_peak(sched)
     shifts = [0.0] * platform.n_cores
     candidates = [k * cycle / shift_grid for k in range(shift_grid)]
     for core in range(platform.n_cores):
         best_off, best_val = 0.0, peak.value
-        for off in candidates[1:]:
-            trial = shift_core(sched, core, off)
-            val = general_peak(trial).value
-            if val < best_val - 1e-12:
-                best_off, best_val = off, val
+        trials = [shift_core(sched, core, off) for off in candidates[1:]]
+        for off, trial_peak in zip(candidates[1:], general_peak_batch(trials)):
+            if trial_peak.value < best_val - 1e-12:
+                best_off, best_val = off, trial_peak.value
         if best_off > 0.0:
             sched = shift_core(sched, core, best_off)
             shifts[core] = best_off
@@ -94,11 +98,18 @@ def pco(
     if peak.value < platform.theta_max - 1e-6 and plan.oscillating.any():
         ratios, sched, peak, fill_iters = fill_headroom(
             platform, plan, ratios, period, m_opt,
-            t_unit=t_unit, peak_fn=general_peak, adaptive=adaptive,
+            t_unit=t_unit, peak_fn=general_peak,
+            peak_batch_fn=general_peak_batch, adaptive=adaptive,
             shifts=shifts,
         )
 
-    throughput = effective_throughput(sched, platform)
+    throughput = float(effective_throughput(sched, platform))
+    peak_value = float(peak.value)
+    # Same AO >= EXS safety net as ao(): never lose to the best constant
+    # assignment reachable from the lower-neighbor floor.
+    sched, peak_value, throughput, floor_volts = constant_floor_guard(
+        platform, plan, period, sched, peak_value, throughput
+    )
     elapsed = time.perf_counter() - t0
     details = dict(base.details)
     details.update(
@@ -108,12 +119,14 @@ def pco(
             "ao_runtime_s": base.runtime_s,
         }
     )
+    if floor_volts is not None:
+        details["constant_floor"] = floor_volts
     return SchedulerResult(
         name="PCO",
         schedule=sched,
-        throughput=float(throughput),
-        peak_theta=float(peak.value),
-        feasible=bool(peak.value <= platform.theta_max + 1e-6),
+        throughput=throughput,
+        peak_theta=peak_value,
+        feasible=bool(peak_value <= platform.theta_max + 1e-6),
         runtime_s=elapsed,
         details=details,
     )

@@ -25,7 +25,7 @@ the literal loop).
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -38,10 +38,41 @@ from repro.thermal.peak import PeakResult, stepup_peak_temperature
 __all__ = ["enforce_threshold", "fill_headroom"]
 
 PeakFn = Callable[[PeriodicSchedule], PeakResult]
+PeakBatchFn = Callable[[Sequence[PeriodicSchedule]], "list[PeakResult]"]
 
 
 def _default_peak_fn(platform: Platform) -> PeakFn:
     return lambda sched: stepup_peak_temperature(platform.model, sched, check=False)
+
+
+def _default_peak_batch_fn(platform: Platform) -> PeakBatchFn:
+    from repro.thermal.batch import stepup_peak_temperature_batch
+
+    return lambda scheds: stepup_peak_temperature_batch(
+        platform.model, scheds, check=False
+    )
+
+
+def _resolve_peak_fns(
+    platform: Platform,
+    peak_fn: PeakFn | None,
+    peak_batch_fn: PeakBatchFn | None,
+) -> tuple[PeakFn, PeakBatchFn]:
+    """Fill in whichever of the scalar / batched peak engines is missing.
+
+    A custom scalar ``peak_fn`` without a batched counterpart falls back
+    to a per-candidate loop, so callers that only know how to price one
+    schedule keep working unchanged.
+    """
+    if peak_fn is None and peak_batch_fn is None:
+        return _default_peak_fn(platform), _default_peak_batch_fn(platform)
+    if peak_fn is None:
+        assert peak_batch_fn is not None
+        return (lambda sched: peak_batch_fn([sched])[0]), peak_batch_fn
+    if peak_batch_fn is None:
+        scalar = peak_fn
+        return scalar, (lambda scheds: [scalar(s) for s in scheds])
+    return peak_fn, peak_batch_fn
 
 
 def enforce_threshold(
@@ -52,6 +83,7 @@ def enforce_threshold(
     m: int,
     t_unit: float | None = None,
     peak_fn: PeakFn | None = None,
+    peak_batch_fn: PeakBatchFn | None = None,
     adaptive: bool = True,
     max_iter: int = 100_000,
 ) -> tuple[np.ndarray, PeriodicSchedule, PeakResult, int]:
@@ -68,6 +100,11 @@ def enforce_threshold(
         cycle/200).
     peak_fn:
         Peak engine (default: the Theorem-1 step-up fast path).
+    peak_batch_fn:
+        Batched peak engine pricing a whole candidate set per call
+        (default: the batched Theorem-1 engine when ``peak_fn`` is unset,
+        else a per-candidate loop over ``peak_fn``).  Every iteration
+        submits all single-quantum trials as one batch.
     adaptive:
         Batch multiple quanta per move using local linearity.
 
@@ -81,8 +118,7 @@ def enforce_threshold(
         If the loop cannot reach feasibility (every ratio exhausted) or
         runs out of iterations.
     """
-    if peak_fn is None:
-        peak_fn = _default_peak_fn(platform)
+    peak_fn, peak_batch_fn = _resolve_peak_fns(platform, peak_fn, peak_batch_fn)
     cycle = period / m
     if t_unit is None:
         t_unit = cycle / 200.0
@@ -104,10 +140,13 @@ def enforce_threshold(
             )
         hottest = peak.core
         best_j, best_tpt, best_drop = -1, -np.inf, 0.0
-        for j in np.where(movable & (ratios > 1e-12))[0]:
+        movers = np.where(movable & (ratios > 1e-12))[0]
+        trials = []
+        for j in movers:
             trial = ratios.copy()
             trial[j] = max(0.0, trial[j] - unit_ratio)
-            trial_peak = peak_fn(build_oscillating_schedule(plan, trial, period, m))
+            trials.append(build_oscillating_schedule(plan, trial, period, m))
+        for j, trial_peak in zip(movers, peak_batch_fn(trials)):
             drop = peak.core_peaks[hottest] - trial_peak.core_peaks[hottest]
             tpt = drop / ((plan.v_high[j] - plan.v_low[j]) * t_unit)
             if tpt > best_tpt:
@@ -148,6 +187,7 @@ def fill_headroom(
     m: int,
     t_unit: float | None = None,
     peak_fn: PeakFn | None = None,
+    peak_batch_fn: PeakBatchFn | None = None,
     adaptive: bool = True,
     max_iter: int = 100_000,
     shifts: list[float] | None = None,
@@ -159,16 +199,23 @@ def fill_headroom(
     gain per degree.  ``shifts`` (per-core phase offsets, used by PCO) are
     applied after rebuilding each candidate schedule; shifted schedules
     are no longer step-up, so supplying shifts without a ``peak_fn``
-    falls back to the general peak engine automatically.
+    falls back to the general peak engine (scalar and batched)
+    automatically.  Candidate moves of one iteration are priced as a
+    single batch through ``peak_batch_fn``.
     """
-    if peak_fn is None:
-        if shifts is not None and any(off > 0 for off in shifts):
-            from repro.thermal.peak import peak_temperature
+    if peak_fn is None and peak_batch_fn is None and shifts is not None and any(
+        off > 0 for off in shifts
+    ):
+        from repro.thermal.batch import peak_temperature_batch
+        from repro.thermal.peak import peak_temperature
 
-            def peak_fn(sched):
-                return peak_temperature(platform.model, sched)
-        else:
-            peak_fn = _default_peak_fn(platform)
+        def peak_fn(sched):
+            return peak_temperature(platform.model, sched)
+
+        def peak_batch_fn(scheds):
+            return peak_temperature_batch(platform.model, scheds)
+
+    peak_fn, peak_batch_fn = _resolve_peak_fns(platform, peak_fn, peak_batch_fn)
     cycle = period / m
     if t_unit is None:
         t_unit = cycle / 200.0
@@ -194,11 +241,16 @@ def fill_headroom(
 
     while peak.value <= theta_max - 1e-9 and iterations < max_iter:
         best_j, best_gain_rate, best_rise, best_trial = -1, -np.inf, 0.0, None
-        for j in np.where(movable & (ratios < 1 - 1e-12))[0]:
+        movers = np.where(movable & (ratios < 1 - 1e-12))[0]
+        trial_ratios, trial_scheds = [], []
+        for j in movers:
             trial = ratios.copy()
             trial[j] = min(1.0, trial[j] + unit_ratio)
-            trial_sched = rebuild(trial)
-            trial_peak = peak_fn(trial_sched)
+            trial_ratios.append(trial)
+            trial_scheds.append(rebuild(trial))
+        for j, trial, trial_sched, trial_peak in zip(
+            movers, trial_ratios, trial_scheds, peak_batch_fn(trial_scheds)
+        ):
             if trial_peak.value > theta_max + 1e-9:
                 continue
             rise = max(trial_peak.value - peak.value, 1e-15)

@@ -1,7 +1,11 @@
 """Shared machinery for the algorithm-comparison experiments (Figs. 6-7, Table V).
 
 Runs LNS / EXS / AO / PCO on a platform grid and collects throughput,
-feasibility and wall-clock time per cell.
+feasibility and wall-clock time per cell.  Grid cells are independent, so
+:func:`build_grid` optionally fans them out over a
+``concurrent.futures.ProcessPoolExecutor`` (``parallel=True``); each
+worker rebuilds its platform from the cell spec, so nothing heavier than
+the result travels across process boundaries.
 """
 
 from __future__ import annotations
@@ -130,6 +134,25 @@ class ComparisonGrid:
         return to_csv(headers, rows)
 
 
+def _run_cell_spec(spec: tuple) -> CellResult:
+    """Build the platform for one grid cell and run it (pickle-friendly).
+
+    Top-level so :class:`~concurrent.futures.ProcessPoolExecutor` can ship
+    it to workers; the platform (with its cached eigendecomposition) is
+    constructed inside the worker rather than serialized.
+    """
+    n, lv, tm, tau, approaches, period, m_cap, m_step, shift_grid = spec
+    platform = paper_platform(n, n_levels=lv, t_max_c=tm, tau=tau)
+    return run_cell(
+        platform,
+        approaches=approaches,
+        period=period,
+        m_cap=m_cap,
+        m_step=m_step,
+        shift_grid=shift_grid,
+    )
+
+
 def build_grid(
     core_counts=(2, 3, 6, 9),
     level_counts=(2,),
@@ -140,21 +163,28 @@ def build_grid(
     m_step: int = 1,
     shift_grid: int = 8,
     tau: float = 5e-6,
+    parallel: bool = False,
+    max_workers: int | None = None,
 ) -> ComparisonGrid:
-    """Run the comparison over a (cores x levels x T_max) grid."""
-    cells = []
-    for n in core_counts:
-        for lv in level_counts:
-            for tm in t_max_values:
-                platform = paper_platform(n, n_levels=lv, t_max_c=tm, tau=tau)
-                cells.append(
-                    run_cell(
-                        platform,
-                        approaches=approaches,
-                        period=period,
-                        m_cap=m_cap,
-                        m_step=m_step,
-                        shift_grid=shift_grid,
-                    )
-                )
+    """Run the comparison over a (cores x levels x T_max) grid.
+
+    With ``parallel`` the independent cells are distributed over a
+    ``ProcessPoolExecutor`` (``max_workers`` processes; default: the
+    executor's own heuristic).  Cell order — and therefore the emitted
+    grid — is identical in both modes; per-cell ``runtime_s`` values
+    remain meaningful because each cell still runs on one core.
+    """
+    specs = [
+        (n, lv, tm, tau, tuple(approaches), period, m_cap, m_step, shift_grid)
+        for n in core_counts
+        for lv in level_counts
+        for tm in t_max_values
+    ]
+    if parallel:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            cells = list(pool.map(_run_cell_spec, specs))
+    else:
+        cells = [_run_cell_spec(spec) for spec in specs]
     return ComparisonGrid(cells=tuple(cells))

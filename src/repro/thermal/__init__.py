@@ -12,6 +12,11 @@ from repro.thermal.periodic import (
     stable_trace,
 )
 from repro.thermal.peak import peak_temperature, stepup_peak_temperature
+from repro.thermal.batch import (
+    peak_temperature_batch,
+    periodic_steady_state_batch,
+    stepup_peak_temperature_batch,
+)
 from repro.thermal.reference import reference_simulate
 
 __all__ = [
@@ -31,5 +36,8 @@ __all__ = [
     "stable_trace",
     "peak_temperature",
     "stepup_peak_temperature",
+    "peak_temperature_batch",
+    "periodic_steady_state_batch",
+    "stepup_peak_temperature_batch",
     "reference_simulate",
 ]

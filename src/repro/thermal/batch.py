@@ -1,0 +1,443 @@
+"""Batched stable-status and peak evaluation for candidate schedules.
+
+Every optimizer in this reproduction (the TPT ratio adjustment, the
+m-oscillation sweep, PCO's phase search) prices *sets* of candidate
+schedules that share one thermal model.  Because the system matrix ``A``
+is constant across intervals, the whole stable-status machinery lives in
+the eigenbasis of ``A``:
+
+* each interval's propagator ``expm(A l)`` is the diagonal map
+  ``y -> exp(lam * l) * y``,
+* the monodromy of a period is ``exp(lam * t_p)`` — no dense product
+  chain,
+* the fixed point ``(I - K)^{-1} d`` of eq. (4) is the elementwise divide
+  ``y_d / (1 - exp(lam * t_p))`` — no linear solve.
+
+So K candidates that differ only in their interval lengths and ``t_inf``
+vectors reduce to stacked elementwise recurrences over a ``(K, Z, n)``
+tensor plus two dense basis changes for the whole batch.  This module
+stacks candidate schedules (padding to the longest interval count — a
+zero-length interval is the identity), resolves all stable states at
+once, and mirrors the scalar peak searches of :mod:`repro.thermal.peak`
+grid-for-grid so results match the scalar path to solver precision.
+
+Entry points:
+
+* :func:`periodic_steady_state_batch` — eq. (4) fixed points for K
+  schedules, one vectorized pass.
+* :func:`stepup_peak_temperature_batch` — Theorem-1 peaks (plus the
+  wrap-refine grid) for K step-up schedules.
+* :func:`peak_temperature_batch` — the general MatEx-style extrema
+  search for arbitrary schedules, with the step-up fast path applied per
+  candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import brentq
+
+from repro.errors import ScheduleError
+from repro.schedule.periodic import PeriodicSchedule
+from repro.schedule.properties import is_step_up
+from repro.thermal.model import ThermalModel
+from repro.thermal.peak import PeakResult
+from repro.thermal.periodic import PeriodicSolution
+
+__all__ = [
+    "periodic_steady_state_batch",
+    "stepup_peak_temperature_batch",
+    "peak_temperature_batch",
+]
+
+#: Upper bound on the elements of one dense grid tensor ``(K, Z, G, n)``;
+#: larger batches are scanned in K-chunks to bound peak memory (~64 MB).
+GRID_CHUNK_ELEMENTS = 8_000_000
+
+
+@dataclass(frozen=True)
+class _Stack:
+    """Stacked stable-status solution of K candidate schedules.
+
+    All arrays are padded along the interval axis to ``Z = max(z_k)``;
+    padding intervals have zero length (identity propagators) so the
+    recurrences pass through them unchanged.
+    """
+
+    schedules: tuple[PeriodicSchedule, ...]
+    z: np.ndarray  # (K,) true interval counts
+    lengths: np.ndarray  # (K, Z) interval lengths, 0-padded
+    starts: np.ndarray  # (K, Z) interval start offsets within the period
+    mask: np.ndarray  # (K, Z) True on real intervals
+    t_inf: np.ndarray  # (K, Z, n) theta-space steady states, 0-padded
+    g: np.ndarray  # (K, Z, n) eigenbasis steady states
+    decay: np.ndarray  # (K, Z, n) exp(lam * length), 1 on padding
+    y_bound: np.ndarray  # (K, Z + 1, n) eigenbasis boundary states
+    theta_bound: np.ndarray  # (K, Z + 1, n) theta-space boundary states
+
+    @property
+    def k(self) -> int:
+        return len(self.schedules)
+
+    @property
+    def n_pad(self) -> int:
+        return self.lengths.shape[1]
+
+    def modal(self) -> np.ndarray:
+        """``(K, Z, n)`` eigenbasis modal coefficients per interval.
+
+        Within interval ``q`` of candidate k,
+        ``theta(t) = t_inf + W @ (modal * exp(lam t))``.
+        """
+        return self.y_bound[:, :-1, :] - self.g
+
+
+def _solve_stack(model: ThermalModel, schedules) -> _Stack:
+    """Stack K schedules and resolve every stable status in one pass."""
+    schedules = tuple(schedules)
+    k = len(schedules)
+    n = model.n_nodes
+    lam = model.eigen.eigenvalues
+    z = np.array([s.n_intervals for s in schedules], dtype=int)
+    z_max = int(z.max()) if k else 0
+
+    lengths = np.zeros((k, z_max))
+    t_inf = np.zeros((k, z_max, n))
+    # Candidate sets re-use a handful of mode vectors; dedup by the exact
+    # voltage tuple before touching the model's (rounding-keyed) LRU.
+    local: dict[tuple, np.ndarray] = {}
+    for i, sched in enumerate(schedules):
+        for q, iv in enumerate(sched.intervals):
+            lengths[i, q] = iv.length
+            theta = local.get(iv.voltages)
+            if theta is None:
+                theta = model.steady_state(iv.voltages)
+                local[iv.voltages] = theta
+            t_inf[i, q] = theta
+    mask = np.arange(z_max)[None, :] < z[:, None]
+    starts = np.concatenate(
+        [np.zeros((k, 1)), np.cumsum(lengths, axis=1)[:, :-1]], axis=1
+    ) if z_max else np.zeros((k, 0))
+
+    # Eigenbasis steady states and per-interval diagonal propagators.
+    g = t_inf @ model.eigen.w_inv.T
+    decay = np.exp(lengths[:, :, None] * lam[None, None, :])
+
+    # Affine part of one period from theta(0) = 0, then the eq.-(4) fixed
+    # point: the monodromy is diagonal, so (I - K)^{-1} is a divide.
+    y = np.zeros((k, n))
+    for q in range(z_max):
+        y = g[:, q] + decay[:, q] * (y - g[:, q])
+    t_p = lengths.sum(axis=1)
+    y0 = y / (1.0 - np.exp(t_p[:, None] * lam[None, :])) if k else y
+
+    y_bound = np.empty((k, z_max + 1, n))
+    y_bound[:, 0] = y0
+    for q in range(z_max):
+        y_bound[:, q + 1] = g[:, q] + decay[:, q] * (y_bound[:, q] - g[:, q])
+    theta_bound = y_bound @ model.eigen.w.T
+
+    return _Stack(
+        schedules=schedules,
+        z=z,
+        lengths=lengths,
+        starts=starts,
+        mask=mask,
+        t_inf=t_inf,
+        g=g,
+        decay=decay,
+        y_bound=y_bound,
+        theta_bound=theta_bound,
+    )
+
+
+def periodic_steady_state_batch(
+    model: ThermalModel,
+    schedules,
+) -> list[PeriodicSolution]:
+    """Solve the eq.-(4) stable status of K candidate schedules at once.
+
+    Parameters
+    ----------
+    model:
+        The shared thermal model (supplies the eigendecomposition).
+    schedules:
+        Iterable of :class:`~repro.schedule.periodic.PeriodicSchedule`
+        candidates; interval counts may differ per candidate.
+
+    Returns
+    -------
+    One :class:`~repro.thermal.periodic.PeriodicSolution` per input, in
+    input order, matching :func:`repro.thermal.periodic.periodic_steady_state`
+    to solver precision.  The cost is a handful of vectorized passes over
+    a ``(K, max_z, n)`` tensor instead of K dense monodromy chains and K
+    linear solves.
+    """
+    stack = _solve_stack(model, schedules)
+    out = []
+    for i, sched in enumerate(stack.schedules):
+        out.append(
+            PeriodicSolution(
+                schedule=sched,
+                boundary_temperatures=stack.theta_bound[i, : stack.z[i] + 1].copy(),
+            )
+        )
+    return out
+
+
+def _grid_scan(
+    stack: _Stack,
+    model: ThermalModel,
+    grid: int,
+    chunk: slice,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dense core-temperature grid over every interval of a K-chunk.
+
+    Returns ``(times, temps)`` with shapes ``(k, Z, G)`` and
+    ``(k, Z, G, C)`` — local sample instants per interval and the core
+    temperatures there.  Padded intervals produce constant rows equal to
+    the period-end state (harmless for maxima; callers mask them).
+    """
+    cores = model.network.core_nodes
+    lam = model.eigen.eigenvalues
+    w_cores = model.eigen.w[cores, :]
+    n_grid = max(int(grid), 2)
+
+    frac = np.linspace(0.0, 1.0, n_grid)
+    times = stack.lengths[chunk][:, :, None] * frac[None, None, :]
+    modal = stack.modal()[chunk]
+    # (k, Z, G, n_modes) -> contract modes against the core rows of W.
+    phase = np.exp(times[:, :, :, None] * lam[None, None, None, :])
+    temps = (phase * modal[:, :, None, :]) @ w_cores.T
+    temps += stack.t_inf[chunk][:, :, None, cores]
+    return times, temps
+
+
+def _grid_chunks(stack: _Stack, model: ThermalModel, grid: int):
+    """Yield ``(chunk_slice, times, temps)`` bounding peak memory."""
+    per_k = max(stack.n_pad * max(int(grid), 2) * model.n_nodes, 1)
+    step = max(1, GRID_CHUNK_ELEMENTS // per_k)
+    for lo in range(0, stack.k, step):
+        chunk = slice(lo, min(lo + step, stack.k))
+        times, temps = _grid_scan(stack, model, grid, chunk)
+        yield chunk, times, temps
+
+
+def stepup_peak_temperature_batch(
+    model: ThermalModel,
+    schedules,
+    check: bool = True,
+    wrap_refine: bool = True,
+    grid: int = 24,
+) -> list[PeakResult]:
+    """Theorem-1 stable peaks of K step-up schedules in one pass.
+
+    Mirrors :func:`repro.thermal.peak.stepup_peak_temperature` candidate
+    by candidate — period-end boundary temperatures plus the vectorized
+    wrap-continuation grid — with the grid evaluated for the whole batch
+    at once.
+    """
+    schedules = tuple(schedules)
+    if check:
+        for sched in schedules:
+            if not is_step_up(sched):
+                raise ScheduleError(
+                    "stepup_peak_temperature requires a step-up schedule; "
+                    "use peak_temperature for arbitrary schedules"
+                )
+    if not schedules:
+        return []
+    stack = _solve_stack(model, schedules)
+    cores = model.network.core_nodes
+    k = stack.k
+
+    end = stack.theta_bound[np.arange(k), stack.z, :][:, cores]
+    core_peaks = end.copy()
+    best_core = np.argmax(end, axis=1)
+    best_val = end[np.arange(k), best_core]
+    best_time = np.array([s.period for s in schedules])
+
+    if wrap_refine:
+        for chunk, times, temps in _grid_chunks(stack, model, grid):
+            masked = np.where(
+                stack.mask[chunk][:, :, None, None], temps, -np.inf
+            )
+            np.maximum(
+                core_peaks[chunk],
+                masked.max(axis=(1, 2)),
+                out=core_peaks[chunk],
+            )
+            kc, zc, gc, cc = masked.shape
+            flat = masked.reshape(kc, -1)
+            arg = np.argmax(flat, axis=1)
+            vals = flat[np.arange(kc), arg]
+            better = vals > best_val[chunk]
+            if better.any():
+                qi, gi, ci = np.unravel_index(arg, (zc, gc, cc))
+                rows = np.arange(kc)
+                when = stack.starts[chunk][rows, qi] + times[rows, qi, gi]
+                sub = np.where(better)[0]
+                base = chunk.start if chunk.start else 0
+                for j in sub:
+                    best_val[base + j] = vals[j]
+                    best_core[base + j] = ci[j]
+                    best_time[base + j] = when[j]
+
+    return [
+        PeakResult(
+            value=float(best_val[i]),
+            core=int(best_core[i]),
+            time=float(best_time[i]),
+            core_peaks=core_peaks[i].copy(),
+        )
+        for i in range(k)
+    ]
+
+
+def _refine_interval_best(
+    stack: _Stack,
+    model: ThermalModel,
+    times: np.ndarray,
+    temps: np.ndarray,
+    chunk: slice,
+) -> list[list[tuple[float, int, float] | None]]:
+    """Per-interval best (value, core, local time), Brent-refined.
+
+    Mirrors :meth:`repro.thermal.matex.IntervalSolution.peak`: start from
+    the interval's dense-grid maximum, then polish every core whose
+    derivative changes sign around its own grid argmax, keeping strict
+    improvements in core order.  Padded intervals yield ``None``.
+    """
+    cores = model.network.core_nodes
+    lam = model.eigen.eigenvalues
+    w_cores = model.eigen.w[cores, :]
+    modal = stack.modal()[chunk]
+    kc, zc, gc, cc = temps.shape
+
+    # Bracket candidates: each core's own grid argmax and its neighbours.
+    j_star = np.argmax(temps, axis=2)  # (k, Z, C)
+    j_lo = np.maximum(j_star - 1, 0)
+    j_hi = np.minimum(j_star + 1, gc - 1)
+    t_lo = np.take_along_axis(times, j_lo.reshape(kc, zc, -1), axis=2).reshape(
+        kc, zc, cc
+    )
+    t_hi = np.take_along_axis(times, j_hi.reshape(kc, zc, -1), axis=2).reshape(
+        kc, zc, cc
+    )
+    # Derivative of core c at time t: sum_m (W[c, m] * modal_m) * lam_m * e^{lam_m t}.
+    modal_c = w_cores[None, None, :, :] * modal[:, :, None, :]  # (k, Z, C, n)
+    d_lo = np.sum(modal_c * lam * np.exp(lam * t_lo[..., None]), axis=3)
+    d_hi = np.sum(modal_c * lam * np.exp(lam * t_hi[..., None]), axis=3)
+    needs_brent = (d_lo > 0) & (d_hi < 0) & (t_hi > t_lo) & stack.mask[chunk][:, :, None]
+
+    # Grid winner of every (candidate, interval) cell in one shot.
+    flat_iq = temps.reshape(kc, zc, -1).argmax(axis=2)  # (k, Z)
+    gi_all, ci_all = np.unravel_index(flat_iq, (gc, cc))
+    val_all = np.take_along_axis(
+        temps.reshape(kc, zc, -1), flat_iq[:, :, None], axis=2
+    )[:, :, 0]
+    t_all = np.take_along_axis(times, gi_all[:, :, None], axis=2)[:, :, 0]
+
+    out: list[list[tuple[float, int, float] | None]] = []
+    for i in range(kc):
+        per_interval: list[tuple[float, int, float] | None] = []
+        for q in range(zc):
+            if not stack.mask[chunk][i, q]:
+                per_interval.append(None)
+                continue
+            best = (float(val_all[i, q]), int(ci_all[i, q]), float(t_all[i, q]))
+            for c in np.where(needs_brent[i, q])[0]:
+                coeffs = modal_c[i, q, c]
+                t_star = brentq(
+                    lambda t: float(np.sum(coeffs * lam * np.exp(lam * t))),
+                    t_lo[i, q, c],
+                    t_hi[i, q, c],
+                )
+                val = float(
+                    stack.t_inf[chunk][i, q, cores[c]]
+                    + np.sum(coeffs * np.exp(lam * t_star))
+                )
+                if val > best[0]:
+                    best = (val, int(c), float(t_star))
+            per_interval.append(best)
+        out.append(per_interval)
+    return out
+
+
+def peak_temperature_batch(
+    model: ThermalModel,
+    schedules,
+    grid_per_interval: int = 64,
+    refine: bool = True,
+    stepup_fast_path: bool = True,
+) -> list[PeakResult]:
+    """Stable-status peaks of K arbitrary schedules in one vectorized pass.
+
+    The batched counterpart of :func:`repro.thermal.peak.peak_temperature`:
+    candidates that are step-up take the Theorem-1 fast path (batched),
+    the rest get the dense-grid + Brent extrema search with the grids for
+    the whole batch evaluated at once.  Results land in input order.
+    """
+    schedules = tuple(schedules)
+    if not schedules:
+        return []
+
+    results: list[PeakResult | None] = [None] * len(schedules)
+    general_idx = list(range(len(schedules)))
+    if stepup_fast_path:
+        stepup_idx = [i for i in general_idx if is_step_up(schedules[i])]
+        general_idx = [i for i in general_idx if i not in set(stepup_idx)]
+        if stepup_idx:
+            fast = stepup_peak_temperature_batch(
+                model, [schedules[i] for i in stepup_idx], check=False
+            )
+            for i, res in zip(stepup_idx, fast):
+                results[i] = res
+    if not general_idx:
+        return results  # type: ignore[return-value]
+
+    subset = tuple(schedules[i] for i in general_idx)
+    stack = _solve_stack(model, subset)
+    n_cores = model.network.core_nodes.shape[0]
+
+    for chunk, times, temps in _grid_chunks(stack, model, grid_per_interval):
+        masked = np.where(stack.mask[chunk][:, :, None, None], temps, -np.inf)
+        grid_core_peaks = masked.max(axis=2)  # (k, Z, C)
+        if refine:
+            interval_best = _refine_interval_best(stack, model, times, temps, chunk)
+        else:
+            interval_best = None
+        base = chunk.start if chunk.start else 0
+        for i in range(masked.shape[0]):
+            core_peaks = np.full(n_cores, -np.inf)
+            best = (-np.inf, 0, 0.0)
+            for q in range(stack.z[base + i]):
+                core_peaks = np.maximum(core_peaks, grid_core_peaks[i, q])
+                if interval_best is not None:
+                    cand = interval_best[i][q]
+                else:
+                    flat = int(np.argmax(temps[i, q]))
+                    gi, ci = np.unravel_index(flat, temps.shape[2:])
+                    cand = (
+                        float(temps[i, q, gi, ci]),
+                        int(ci),
+                        float(times[i, q, gi]),
+                    )
+                if cand is not None and cand[0] > best[0]:
+                    best = (
+                        cand[0],
+                        cand[1],
+                        stack.starts[base + i, q] + cand[2],
+                    )
+            core_peaks = np.maximum(
+                core_peaks, best[0] * (np.arange(n_cores) == best[1])
+            )
+            results[general_idx[base + i]] = PeakResult(
+                value=float(best[0]),
+                core=int(best[1]),
+                time=float(best[2]),
+                core_peaks=core_peaks,
+            )
+    return results  # type: ignore[return-value]

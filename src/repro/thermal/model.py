@@ -19,6 +19,7 @@ Use :meth:`ThermalModel.to_celsius` for display.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from functools import cached_property
 
 import numpy as np
@@ -71,11 +72,12 @@ class ThermalModel:
         #: System matrix A of eq. (2).
         self.a = -g / self.c_diag[:, None]
         # Steady-state solves share one Cholesky factorization of G - E_beta,
-        # and results are memoized per voltage vector: the algorithm inner
-        # loops re-evaluate the same handful of mode vectors thousands of
-        # times.
+        # and results are memoized per voltage vector (LRU): the algorithm
+        # inner loops re-evaluate the same handful of mode vectors thousands
+        # of times, and long optimizer runs must not lose the whole working
+        # set when the cache fills.
         self._g_cho = scipy.linalg.cho_factor(self.g_eff)
-        self._ss_cache: dict[tuple[float, ...], np.ndarray] = {}
+        self._ss_cache: OrderedDict[tuple[float, ...], np.ndarray] = OrderedDict()
 
     # ------------------------------------------------------------------
     # basic properties
@@ -120,18 +122,26 @@ class ThermalModel:
     # steady state / propagation
     # ------------------------------------------------------------------
 
+    #: Capacity of the per-voltage steady-state LRU cache.
+    SS_CACHE_SIZE = 4096
+
     def steady_state(self, voltages) -> np.ndarray:
         """``T_inf(v) = -A^{-1} B(v)``: solve ``(G - E_beta) theta = Psi(v)``.
 
-        Returns node temperatures above ambient (K).
+        Returns node temperatures above ambient (K).  Results are memoized
+        in an LRU keyed by the rounded voltage vector: a hit moves the
+        entry to the back, and at capacity the least recently used entry is
+        evicted, so the handful of mode vectors an optimizer re-evaluates
+        survives arbitrarily long runs.
         """
         key = tuple(np.round(np.atleast_1d(np.asarray(voltages, dtype=float)), 12))
         cached = self._ss_cache.get(key)
         if cached is not None:
+            self._ss_cache.move_to_end(key)
             return cached
         theta = scipy.linalg.cho_solve(self._g_cho, self.injection(voltages))
-        if len(self._ss_cache) > 4096:
-            self._ss_cache.clear()
+        if len(self._ss_cache) >= self.SS_CACHE_SIZE:
+            self._ss_cache.popitem(last=False)
         self._ss_cache[key] = theta
         return theta
 

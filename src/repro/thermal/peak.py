@@ -73,7 +73,7 @@ def stepup_peak_temperature(
     temperature derivative through the wrap (its own power is unchanged
     and its neighbours are still hot), so it can continue rising for a
     short while into the next period and overshoot the period-end value —
-    by up to ~0.5 K in randomized step-up schedules on the calibrated
+    by up to ~0.7 K in randomized step-up schedules on the calibrated
     chip.  With ``wrap_refine`` (default) a vectorized dense grid over the
     stable-status period catches these humps; the cost stays linear in z
     and far below the general engine's refined search.  Pass

@@ -13,6 +13,8 @@ All solves go through :func:`solve_linear` (LU with a conditioning check)
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 import scipy.linalg
 
@@ -99,7 +101,15 @@ class EigenExpm:
         expm(A t) @ x = W @ (exp(lam * t) * (W^{-1} @ x))
 
     so after the one-time O(n^3) setup, each propagation costs O(n^2).
+
+    Dense ``expm(A t)`` matrices requested through :meth:`expm_cached` are
+    memoized per interval length (LRU): schedule solvers re-use the same
+    handful of interval durations thousands of times inside optimizer
+    loops.
     """
+
+    #: Capacity of the per-instance interval-keyed ``expm`` LRU cache.
+    EXPM_CACHE_SIZE = 512
 
     def __init__(self, a: np.ndarray, c_diag: np.ndarray | None = None) -> None:
         a = np.asarray(a, dtype=float)
@@ -138,6 +148,8 @@ class EigenExpm:
                 f"(max eigenvalue {np.max(self.eigenvalues):.3e} >= 0)"
             )
 
+        self._expm_cache: OrderedDict[float, np.ndarray] = OrderedDict()
+
     @property
     def n(self) -> int:
         """Dimension of the system."""
@@ -149,12 +161,61 @@ class EigenExpm:
             raise ValueError(f"time must be non-negative, got {t}")
         return (self.w * np.exp(self.eigenvalues * t)[None, :]) @ self.w_inv
 
+    def expm_cached(self, t: float) -> np.ndarray:
+        """LRU-memoized :meth:`expm` keyed by the interval length ``t``.
+
+        Returns a shared read-only array; callers must not mutate it.
+        """
+        key = float(t)
+        cached = self._expm_cache.get(key)
+        if cached is not None:
+            self._expm_cache.move_to_end(key)
+            return cached
+        mat = self.expm(key)
+        mat.setflags(write=False)
+        if len(self._expm_cache) >= self.EXPM_CACHE_SIZE:
+            self._expm_cache.popitem(last=False)
+        self._expm_cache[key] = mat
+        return mat
+
     def apply_expm(self, t: float, x: np.ndarray) -> np.ndarray:
         """Compute ``expm(A t) @ x`` without forming the matrix."""
         if t < 0:
             raise ValueError(f"time must be non-negative, got {t}")
         coeff = self.w_inv @ np.asarray(x, dtype=float)
         return self.w @ (np.exp(self.eigenvalues * t) * coeff)
+
+    def apply_expm_many(self, times: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Evaluate ``expm(A * times[j]) @ x[j]`` for stacked inputs.
+
+        Unlike :meth:`propagate_batch` (one state, many times), this pairs
+        the j-th time with the j-th state vector — the shape the batched
+        schedule engine needs when K candidate schedules each carry their
+        own interval lengths.
+
+        Parameters
+        ----------
+        times:
+            ``(k,)`` non-negative propagation times.
+        x:
+            ``(k, n)`` stacked state vectors.
+
+        Returns
+        -------
+        ``(k, n)`` with row j equal to ``expm(A * times[j]) @ x[j]``.
+        """
+        times = np.atleast_1d(np.asarray(times, dtype=float))
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape != (times.shape[0], self.n):
+            raise ThermalModelError(
+                f"x must be (len(times), {self.n}) = ({times.shape[0]}, {self.n}), "
+                f"got {x.shape}"
+            )
+        if times.size and times.min() < 0:
+            raise ValueError(f"times must be non-negative, got min {times.min()}")
+        coeff = x @ self.w_inv.T  # (k, n) eigenbasis coordinates
+        coeff *= np.exp(times[:, None] * self.eigenvalues[None, :])
+        return coeff @ self.w.T
 
     def modal_coefficients(self, x: np.ndarray) -> np.ndarray:
         """Return ``R`` with ``(expm(A t) x)_i = sum_k R[i,k] exp(lam_k t)``."""
