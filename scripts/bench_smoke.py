@@ -3,15 +3,21 @@
 
 Runs the thermal-kernel benchmarks (``benchmarks/bench_solvers.py``) and
 the batched-engine benchmarks (``benchmarks/bench_batch.py``) with
-reduced rounds, then writes the pytest-benchmark JSON report to
+reduced rounds, then writes a compacted pytest-benchmark JSON report to
 ``BENCH_solvers.json`` at the repo root — a cheap regression tripwire
 for the hot path, not a rigorous measurement.
+
+The raw pytest-benchmark report carries every individual sample and the
+full machine/commit dossier; the snapshot keeps only the summary
+statistics (rounded to 6 significant digits) so the committed file stays
+small and its diffs reviewable.
 
 Usage: python scripts/bench_smoke.py [extra pytest args...]
 """
 
 from __future__ import annotations
 
+import json
 import os
 import subprocess
 import sys
@@ -19,6 +25,46 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 REPORT = REPO_ROOT / "BENCH_solvers.json"
+
+#: Summary statistics preserved per benchmark (per-sample arrays dropped).
+_STAT_KEYS = (
+    "min", "max", "mean", "stddev", "median", "iqr", "q1", "q3",
+    "rounds", "iterations", "ops",
+)
+
+#: machine_info keys worth keeping for context.
+_MACHINE_KEYS = ("node", "processor", "machine", "python_version", "system")
+
+
+def _round6(value):
+    """Round floats to 6 significant digits (ints/others pass through)."""
+    if isinstance(value, float):
+        return float(f"{value:.6g}")
+    return value
+
+
+def compact_report(raw: dict) -> dict:
+    """Strip a pytest-benchmark JSON report down to its summary stats."""
+    machine = raw.get("machine_info") or {}
+    return {
+        "datetime": raw.get("datetime"),
+        "version": raw.get("version"),
+        "machine_info": {k: machine.get(k) for k in _MACHINE_KEYS if k in machine},
+        "benchmarks": [
+            {
+                "group": bench.get("group"),
+                "name": bench.get("name"),
+                "fullname": bench.get("fullname"),
+                "params": bench.get("params"),
+                "stats": {
+                    k: _round6(bench["stats"][k])
+                    for k in _STAT_KEYS
+                    if k in bench.get("stats", {})
+                },
+            }
+            for bench in raw.get("benchmarks", [])
+        ],
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -46,10 +92,10 @@ def main(argv: list[str] | None = None) -> int:
     ]
     proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
     if proc.returncode == 0 and scratch.exists():
-        scratch.replace(REPORT)
+        raw = json.loads(scratch.read_text())
+        REPORT.write_text(json.dumps(compact_report(raw), indent=1) + "\n")
         print(f"wrote {REPORT}")
-    else:
-        scratch.unlink(missing_ok=True)
+    scratch.unlink(missing_ok=True)
     return proc.returncode
 
 

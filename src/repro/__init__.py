@@ -13,8 +13,11 @@ The package implements the paper's complete stack:
   oracle,
 * :mod:`repro.schedule` — periodic multi-core schedules with the step-up
   and m-oscillating transforms,
-* :mod:`repro.algorithms` — LNS, EXS (Algorithm 1), AO (Algorithm 2) and
-  PCO,
+* :mod:`repro.engine` — the instrumented :class:`ThermalEngine` facade
+  every solver drives (shared caches, batch kernels, counters),
+* :mod:`repro.algorithms` — LNS, EXS (Algorithm 1), AO (Algorithm 2),
+  PCO and the rest of the solver registry
+  (:mod:`repro.algorithms.registry`),
 * :mod:`repro.analysis` — executable checks of Theorems 1-5,
 * :mod:`repro.experiments` — one callable per table/figure of the paper.
 
@@ -28,15 +31,20 @@ Quickstart::
 """
 
 from repro.platform import Platform, paper_platform, platform_3d
+from repro.engine import EngineStats, ThermalEngine
 from repro.algorithms import (
+    SOLVERS,
     SchedulerResult,
+    SolverSpec,
     dark_silicon_ao,
     ao,
     continuous_assignment,
     exs,
     exs_pruned,
+    get_solver,
     lns,
     pco,
+    solve,
 )
 from repro.power import PowerModel, TransitionOverhead, VoltageLadder, paper_ladder
 from repro.schedule import PeriodicSchedule, m_oscillate, step_up, throughput
@@ -54,7 +62,13 @@ __all__ = [
     "Platform",
     "paper_platform",
     "platform_3d",
+    "ThermalEngine",
+    "EngineStats",
     "SchedulerResult",
+    "SolverSpec",
+    "SOLVERS",
+    "get_solver",
+    "solve",
     "ao",
     "pco",
     "exs",

@@ -18,6 +18,7 @@ from repro.algorithms.ao import ao
 from repro.algorithms.dark import dark_silicon_ao
 from repro.algorithms.reactive import reactive_throttling
 from repro.algorithms.pco import pco
+from repro.algorithms.registry import SOLVERS, SolverSpec, get_solver, solve
 
 __all__ = [
     "SchedulerResult",
@@ -40,4 +41,8 @@ __all__ = [
     "dark_silicon_ao",
     "reactive_throttling",
     "pco",
+    "SOLVERS",
+    "SolverSpec",
+    "get_solver",
+    "solve",
 ]

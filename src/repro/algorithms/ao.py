@@ -35,16 +35,16 @@ from repro.algorithms.oscillation import (
     plan_modes,
 )
 from repro.algorithms.tpt import enforce_threshold, fill_headroom
+from repro.engine import ThermalEngine, as_platform
 from repro.platform import Platform
 from repro.schedule.builders import constant_schedule
 from repro.schedule.periodic import PeriodicSchedule
-from repro.thermal.peak import peak_temperature, stepup_peak_temperature
 
 __all__ = ["ao", "best_constant_above", "constant_floor_guard"]
 
 
 def best_constant_above(
-    platform: Platform,
+    platform: Platform | ThermalEngine,
     plan: ModePlan,
     incumbent_sum: float,
 ) -> np.ndarray | None:
@@ -63,6 +63,7 @@ def best_constant_above(
     Returns the winning voltage vector, or ``None`` when nothing feasible
     beats the incumbent.
     """
+    platform = as_platform(platform)
     model = platform.model
     theta_max = platform.theta_max
     levels = sorted(float(v) for v in platform.ladder.levels)
@@ -117,7 +118,7 @@ def best_constant_above(
 
 
 def constant_floor_guard(
-    platform: Platform,
+    platform: Platform | ThermalEngine,
     plan: ModePlan,
     period: float,
     sched: PeriodicSchedule,
@@ -135,6 +136,7 @@ def constant_floor_guard(
     Returns ``(schedule, peak_value, throughput, floor_voltages)`` with
     ``floor_voltages`` set only when the swap happened.
     """
+    platform = as_platform(platform)
     floor_volts = best_constant_above(
         platform, plan, incumbent_sum=throughput * platform.n_cores
     )
@@ -147,7 +149,7 @@ def constant_floor_guard(
 
 
 def ao(
-    platform: Platform,
+    platform: Platform | ThermalEngine,
     period: float = 0.02,
     m_cap: int = DEFAULT_M_CAP,
     m_step: int = 1,
@@ -177,9 +179,13 @@ def ao(
         power-gated (dark silicon — see
         :func:`repro.algorithms.dark.dark_silicon_ao`).
     """
+    engine = ThermalEngine.ensure(platform)
+    platform = engine.platform
+    mark = engine.checkpoint()
     t0 = time.perf_counter()
-    cont = continuous_assignment(platform, active_mask=active_mask)
-    plan = plan_modes(platform, cont.voltages)
+    with engine.phase("continuous"):
+        cont = continuous_assignment(platform, active_mask=active_mask)
+        plan = plan_modes(platform, cont.voltages)
 
     details: dict = {
         "continuous_voltages": cont.voltages,
@@ -191,60 +197,58 @@ def ao(
     if not plan.oscillating.any():
         # Every core hit a ladder level exactly: a constant schedule.
         sched = build_oscillating_schedule(plan, plan.high_ratio, period, 1)
-        peak = stepup_peak_temperature(platform.model, sched, check=False)
+        peak = engine.stepup_peak(sched)
         ratios = plan.high_ratio.copy()
         m_opt = 1
         tpt_iters = 0
         details["m_history"] = [(1, peak.value)]
     else:
-        m_opt, sched, history = choose_m(
-            platform, plan, period, m_cap=m_cap, m_step=m_step
-        )
+        with engine.phase("choose_m"):
+            m_opt, sched, history = choose_m(
+                engine, plan, period, m_cap=m_cap, m_step=m_step
+            )
         details["m_history"] = history
         ratios = adjusted_high_ratios(platform, plan, m_opt, period)
-        ratios, sched, peak, tpt_iters = enforce_threshold(
-            platform, plan, ratios, period, m_opt,
-            t_unit=t_unit, adaptive=adaptive,
-        )
+        with engine.phase("tpt"):
+            ratios, sched, peak, tpt_iters = enforce_threshold(
+                engine, plan, ratios, period, m_opt,
+                t_unit=t_unit, adaptive=adaptive,
+            )
 
     fill_iters = 0
     if fill and peak.value < platform.theta_max - 1e-6 and plan.oscillating.any():
-        ratios, sched, peak, fill_iters = fill_headroom(
-            platform, plan, ratios, period, m_opt,
-            t_unit=t_unit, adaptive=adaptive,
-        )
+        with engine.phase("fill"):
+            ratios, sched, peak, fill_iters = fill_headroom(
+                engine, plan, ratios, period, m_opt,
+                t_unit=t_unit, adaptive=adaptive,
+            )
 
     # Final safety verification with the exact engine: the step-up fast
     # path's grid scan can under-resolve a wrap-continuation hump by a few
     # hundredths of a Kelvin.  If the refined peak tops T_max, run one more
     # TPT pass priced with the exact engine.
-    exact = peak_temperature(platform.model, sched, grid_per_interval=96)
-    if exact.value > platform.theta_max + 1e-6 and plan.oscillating.any():
-        from repro.thermal.batch import peak_temperature_batch
-
-        def exact_fn(s):
-            return peak_temperature(platform.model, s, grid_per_interval=96)
-
-        def exact_batch_fn(scheds):
-            return peak_temperature_batch(
-                platform.model, scheds, grid_per_interval=96
+    with engine.phase("verify"):
+        exact = engine.general_peak(sched, grid_per_interval=96)
+        if exact.value > platform.theta_max + 1e-6 and plan.oscillating.any():
+            exact_fn, exact_batch_fn = engine.peak_fns(
+                general=True, grid_per_interval=96
             )
-
-        ratios, sched, exact, extra = enforce_threshold(
-            platform, plan, ratios, period, m_opt,
-            t_unit=t_unit, adaptive=adaptive,
-            peak_fn=exact_fn, peak_batch_fn=exact_batch_fn,
-        )
-        tpt_iters += extra
+            ratios, sched, exact, extra = enforce_threshold(
+                engine, plan, ratios, period, m_opt,
+                t_unit=t_unit, adaptive=adaptive,
+                peak_fn=exact_fn, peak_batch_fn=exact_batch_fn,
+            )
+            tpt_iters += extra
     peak_value = float(exact.value)
 
     # Restore the paper's AO >= EXS ordering: ratio adjustment can end
     # marginally below the best feasible constant assignment, in which
     # case the lower-neighbor floor wins and we emit it instead.
     throughput = float(effective_throughput(sched, platform))
-    sched, peak_value, throughput, floor_volts = constant_floor_guard(
-        platform, plan, period, sched, peak_value, throughput
-    )
+    with engine.phase("floor_guard"):
+        sched, peak_value, throughput, floor_volts = constant_floor_guard(
+            platform, plan, period, sched, peak_value, throughput
+        )
     elapsed = time.perf_counter() - t0
     details.update(
         {
@@ -264,4 +268,5 @@ def ao(
         feasible=bool(peak_value <= platform.theta_max + 1e-6),
         runtime_s=elapsed,
         details=details,
+        stats=engine.stats_since(mark),
     )

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.engine import EngineStats
 from repro.schedule.periodic import PeriodicSchedule
 
 __all__ = ["SchedulerResult"]
@@ -32,6 +33,11 @@ class SchedulerResult:
         Wall-clock seconds the algorithm spent.
     details:
         Algorithm-specific extras (chosen m, mode plan, search statistics).
+    stats:
+        Thermal-engine counters attributed to this run
+        (:class:`~repro.engine.EngineStats`) — steady-state solves, cache
+        hit rates, batch sizes, per-phase wall time.  ``None`` when the
+        algorithm ran outside an instrumented engine.
     """
 
     name: str
@@ -41,18 +47,22 @@ class SchedulerResult:
     feasible: bool
     runtime_s: float = 0.0
     details: dict[str, Any] = field(default_factory=dict)
+    stats: EngineStats | None = None
 
     def peak_celsius(self, t_ambient_c: float = 35.0) -> float:
         """Peak temperature in Celsius."""
         return self.peak_theta + t_ambient_c
 
     def summary(self) -> str:
-        """One-line human-readable summary."""
-        return (
+        """Human-readable summary (plus the engine stats line when present)."""
+        line = (
             f"{self.name}: THR={self.throughput:.4f}, "
             f"peak={self.peak_theta:.2f} K above ambient, "
             f"feasible={self.feasible}, {self.runtime_s * 1e3:.1f} ms"
         )
+        if self.stats is not None:
+            line += f"\n  engine: {self.stats.summary_line()}"
+        return line
 
     def mean_voltage(self) -> float:
         """Time-averaged voltage across cores (equals eq.-5 THR when f=v)."""

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine import ThermalEngine, as_platform
 from repro.errors import SolverError
 from repro.platform import Platform
 from repro.util.linalg import solve_linear
@@ -54,7 +55,7 @@ class ContinuousAssignment:
 
 
 def continuous_assignment(
-    platform: Platform,
+    platform: Platform | ThermalEngine,
     active_mask: np.ndarray | None = None,
 ) -> ContinuousAssignment:
     """Compute the ideal continuous per-core voltages for the platform.
@@ -73,6 +74,7 @@ def continuous_assignment(
         (cannot happen for monotone networks; defensive), or the platform
         is infeasible even at the minimum voltages.
     """
+    platform = as_platform(platform)
     model = platform.model
     power = model.power
     n = platform.n_cores

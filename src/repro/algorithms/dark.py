@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.algorithms.ao import ao
 from repro.algorithms.base import SchedulerResult
+from repro.engine import ThermalEngine
 from repro.errors import InfeasibleError, SolverError
 from repro.platform import Platform
 
@@ -38,7 +39,7 @@ def _thermal_quality_order(platform: Platform) -> np.ndarray:
 
 
 def dark_silicon_ao(
-    platform: Platform,
+    platform: Platform | ThermalEngine,
     max_dark: int | None = None,
     explore_extra: int = 1,
     **ao_kwargs,
@@ -65,6 +66,9 @@ def dark_silicon_ao(
     InfeasibleError
         If no active set (down to a single core) is feasible.
     """
+    engine = ThermalEngine.ensure(platform)
+    platform = engine.platform
+    mark = engine.checkpoint()
     t0 = time.perf_counter()
     n = platform.n_cores
     if max_dark is None:
@@ -77,7 +81,7 @@ def dark_silicon_ao(
         active = np.ones(n, dtype=bool)
         active[order[:dark_count]] = False
         try:
-            result = ao(platform, active_mask=active, **ao_kwargs)
+            result = ao(engine, active_mask=active, **ao_kwargs)
         except SolverError:
             continue  # this active set is thermally infeasible; gate more
         if found_at is None:
@@ -102,4 +106,5 @@ def dark_silicon_ao(
         feasible=best.feasible,
         runtime_s=elapsed,
         details=best.details,
+        stats=engine.stats_since(mark),
     )

@@ -23,6 +23,7 @@ import time
 import numpy as np
 
 from repro.algorithms.base import SchedulerResult
+from repro.engine import EngineStats, ThermalEngine
 from repro.errors import InfeasibleError
 from repro.platform import Platform
 from repro.schedule.builders import constant_schedule
@@ -33,8 +34,9 @@ __all__ = ["exs", "exs_pruned"]
 BATCH = 65536
 
 
-def _result(platform: Platform, voltages: np.ndarray, peak: float, elapsed: float,
-            name: str, evaluations: int) -> SchedulerResult:
+def _result(voltages: np.ndarray, peak: float, elapsed: float,
+            name: str, evaluations: int,
+            stats: EngineStats | None = None) -> SchedulerResult:
     return SchedulerResult(
         name=name,
         schedule=constant_schedule(voltages, period=0.02),
@@ -43,10 +45,11 @@ def _result(platform: Platform, voltages: np.ndarray, peak: float, elapsed: floa
         feasible=True,
         runtime_s=elapsed,
         details={"evaluations": evaluations},
+        stats=stats,
     )
 
 
-def exs(platform: Platform) -> SchedulerResult:
+def exs(platform: Platform | ThermalEngine) -> SchedulerResult:
     """The paper's Algorithm 1 (vectorized full enumeration).
 
     Raises
@@ -54,11 +57,12 @@ def exs(platform: Platform) -> SchedulerResult:
     InfeasibleError
         If not even the all-lowest assignment fits under ``T_max``.
     """
+    engine = ThermalEngine.ensure(platform)
+    mark = engine.checkpoint()
     t0 = time.perf_counter()
-    model = platform.model
-    levels = np.asarray(platform.ladder.levels)
-    n = platform.n_cores
-    theta_max = platform.theta_max
+    levels = np.asarray(engine.ladder.levels)
+    n = engine.n_cores
+    theta_max = engine.theta_max
 
     best_throughput = -np.inf
     best_voltages: np.ndarray | None = None
@@ -72,7 +76,7 @@ def exs(platform: Platform) -> SchedulerResult:
             break
         evaluations += len(chunk)
         volts = levels[np.asarray(chunk)]  # (batch, n)
-        theta = model.steady_state_batch(volts)  # (batch, n)
+        theta = engine.steady_state_batch(volts)  # (batch, n)
         peaks = theta.max(axis=1)
         feasible = peaks <= theta_max + 1e-9
         if not feasible.any():
@@ -90,10 +94,13 @@ def exs(platform: Platform) -> SchedulerResult:
         raise InfeasibleError(
             f"no constant assignment fits under theta_max={theta_max:.2f} K"
         )
-    return _result(platform, best_voltages, best_peak, elapsed, "EXS", evaluations)
+    return _result(
+        best_voltages, best_peak, elapsed, "EXS", evaluations,
+        stats=engine.stats_since(mark),
+    )
 
 
-def exs_pruned(platform: Platform) -> SchedulerResult:
+def exs_pruned(platform: Platform | ThermalEngine) -> SchedulerResult:
     """Monotonicity-pruned exact search (same answer as :func:`exs`).
 
     DFS over cores assigns levels from high to low.  Two prunes:
@@ -104,19 +111,20 @@ def exs_pruned(platform: Platform) -> SchedulerResult:
     * *bound*: if the partial sum plus ``v_max`` for every unassigned core
       cannot beat the incumbent, the subtree is skipped.
     """
+    engine = ThermalEngine.ensure(platform)
+    mark = engine.checkpoint()
     t0 = time.perf_counter()
-    model = platform.model
-    levels = sorted(platform.ladder.levels, reverse=True)
-    n = platform.n_cores
-    theta_max = platform.theta_max
-    v_min, v_max = platform.ladder.v_min, platform.ladder.v_max
+    levels = sorted(engine.ladder.levels, reverse=True)
+    n = engine.n_cores
+    theta_max = engine.theta_max
+    v_min, v_max = engine.ladder.v_min, engine.ladder.v_max
 
     best = {"sum": -np.inf, "voltages": None, "peak": np.inf, "evals": 0}
     assignment = np.full(n, v_min)
 
     def peak_of(volts: np.ndarray) -> float:
         best["evals"] += 1
-        return float(model.steady_state_cores(volts).max())
+        return float(engine.steady_state_cores(volts).max())
 
     def dfs(core: int, partial_sum: float) -> None:
         if partial_sum + (n - core) * v_max <= best["sum"] + 1e-12:
@@ -146,10 +154,10 @@ def exs_pruned(platform: Platform) -> SchedulerResult:
             f"no constant assignment fits under theta_max={theta_max:.2f} K"
         )
     return _result(
-        platform,
         best["voltages"],
         best["peak"],
         elapsed,
         "EXS-pruned",
         best["evals"],
+        stats=engine.stats_since(mark),
     )

@@ -14,13 +14,14 @@ import numpy as np
 
 from repro.algorithms.base import SchedulerResult
 from repro.algorithms.continuous import continuous_assignment
+from repro.engine import ThermalEngine
 from repro.platform import Platform
 from repro.schedule.builders import constant_schedule
 
 __all__ = ["lns"]
 
 
-def lns(platform: Platform, period: float = 0.02) -> SchedulerResult:
+def lns(platform: Platform | ThermalEngine, period: float = 0.02) -> SchedulerResult:
     """Run the LNS baseline.
 
     Parameters
@@ -32,12 +33,14 @@ def lns(platform: Platform, period: float = 0.02) -> SchedulerResult:
         the schedule object; a constant schedule's behaviour is
         period-independent.
     """
+    engine = ThermalEngine.ensure(platform)
+    mark = engine.checkpoint()
     t0 = time.perf_counter()
-    cont = continuous_assignment(platform)
+    cont = continuous_assignment(engine.platform)
     voltages = np.array(
-        [platform.ladder.lower_neighbor(v) for v in cont.voltages]
+        [engine.ladder.lower_neighbor(v) for v in cont.voltages]
     )
-    theta = platform.model.steady_state_cores(voltages)
+    theta = engine.steady_state_cores(voltages)
     peak = float(theta.max())
     elapsed = time.perf_counter() - t0
     return SchedulerResult(
@@ -45,7 +48,8 @@ def lns(platform: Platform, period: float = 0.02) -> SchedulerResult:
         schedule=constant_schedule(voltages, period=period),
         throughput=float(np.mean(voltages)),
         peak_theta=peak,
-        feasible=bool(peak <= platform.theta_max + 1e-9),
+        feasible=bool(peak <= engine.theta_max + 1e-9),
         runtime_s=elapsed,
         details={"continuous_voltages": cont.voltages},
+        stats=engine.stats_since(mark),
     )

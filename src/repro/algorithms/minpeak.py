@@ -23,10 +23,11 @@ from repro.algorithms.oscillation import (
     choose_m,
     plan_modes,
 )
+from repro.engine import ThermalEngine
 from repro.errors import SolverError
 from repro.platform import Platform
 from repro.schedule.periodic import PeriodicSchedule
-from repro.thermal.peak import PeakResult, peak_temperature
+from repro.thermal.peak import PeakResult
 
 __all__ = ["MinPeakResult", "minimize_peak"]
 
@@ -71,7 +72,7 @@ class MinPeakResult:
 
 
 def minimize_peak(
-    platform: Platform,
+    platform: Platform | ThermalEngine,
     target_speeds,
     period: float = 0.02,
     m_cap: int = DEFAULT_M_CAP,
@@ -98,6 +99,8 @@ def minimize_peak(
     SolverError
         If a target speed lies outside the platform's speed range.
     """
+    engine = ThermalEngine.ensure(platform)
+    platform = engine.platform
     t0 = time.perf_counter()
     targets = np.atleast_1d(np.asarray(target_speeds, dtype=float))
     if targets.shape != (platform.n_cores,):
@@ -114,14 +117,14 @@ def minimize_peak(
 
     # Theorem 3's (generally unreachable) bound: the continuous constant point.
     constant_bound = float(
-        platform.model.steady_state_cores(np.clip(targets, 0.0, v_hi)).max()
+        engine.steady_state_cores(np.clip(targets, 0.0, v_hi)).max()
     )
 
     plan = plan_modes(platform, targets)
     if not plan.oscillating.any():
         # Every target is a ladder level: the constant schedule is optimal.
         sched = build_oscillating_schedule(plan, plan.high_ratio, period, 1)
-        peak = peak_temperature(platform.model, sched)
+        peak = engine.general_peak(sched)
         return MinPeakResult(
             schedule=sched,
             peak=peak,
@@ -132,11 +135,11 @@ def minimize_peak(
         )
 
     m_opt, sched, _history = choose_m(
-        platform, plan, period, m_cap=m_cap, m_step=m_step
+        engine, plan, period, m_cap=m_cap, m_step=m_step
     )
     ratios = adjusted_high_ratios(platform, plan, m_opt, period)
     sched = build_oscillating_schedule(plan, ratios, period, m_opt)
-    peak = peak_temperature(platform.model, sched)
+    peak = engine.general_peak(sched)
     return MinPeakResult(
         schedule=sched,
         peak=peak,

@@ -23,11 +23,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine import ThermalEngine, as_platform
 from repro.errors import SolverError
 from repro.platform import Platform
 from repro.schedule.builders import two_mode_schedule
 from repro.schedule.periodic import PeriodicSchedule
-from repro.thermal.peak import stepup_peak_temperature
 
 __all__ = [
     "ModePlan",
@@ -75,12 +75,13 @@ class ModePlan:
         return self.v_low.shape[0]
 
 
-def plan_modes(platform: Platform, voltages: np.ndarray) -> ModePlan:
+def plan_modes(platform: Platform | ThermalEngine, voltages: np.ndarray) -> ModePlan:
     """Decompose continuous voltages onto the platform's discrete ladder.
 
     A target of exactly 0 means the core idles (power-gated) and is planned
     as a constant zero-voltage mode.
     """
+    platform = as_platform(platform)
     voltages = np.asarray(voltages, dtype=float)
     v_low = np.empty_like(voltages)
     v_high = np.empty_like(voltages)
@@ -98,7 +99,7 @@ def plan_modes(platform: Platform, voltages: np.ndarray) -> ModePlan:
 
 
 def adjusted_high_ratios(
-    platform: Platform,
+    platform: Platform | ThermalEngine,
     plan: ModePlan,
     m: int,
     period: float,
@@ -111,6 +112,7 @@ def adjusted_high_ratios(
     whose low interval cannot host the transitions any more are reported
     by :func:`max_m_bound` — callers should not exceed it.
     """
+    platform = as_platform(platform)
     ratios = plan.high_ratio.copy()
     tau = platform.overhead.tau
     if tau == 0 or m <= 0:
@@ -122,8 +124,14 @@ def adjusted_high_ratios(
     return ratios
 
 
-def max_m_bound(platform: Platform, plan: ModePlan, period: float, cap: int = DEFAULT_M_CAP) -> int:
+def max_m_bound(
+    platform: Platform | ThermalEngine,
+    plan: ModePlan,
+    period: float,
+    cap: int = DEFAULT_M_CAP,
+) -> int:
     """Chip-wide oscillation bound ``M = min_i M_i`` (section V), capped."""
+    platform = as_platform(platform)
     cores = []
     for i in np.where(plan.oscillating)[0]:
         t_low = (1.0 - plan.high_ratio[i]) * period
@@ -152,7 +160,7 @@ def build_oscillating_schedule(
 
 
 def choose_m(
-    platform: Platform,
+    platform: Platform | ThermalEngine,
     plan: ModePlan,
     period: float,
     m_cap: int = DEFAULT_M_CAP,
@@ -168,28 +176,19 @@ def choose_m(
     stable-status engine in one call; ``batch=False`` keeps the scalar
     per-candidate loop (the two paths select the same m).
     """
-    m_max = max_m_bound(platform, plan, period, cap=m_cap)
+    engine = ThermalEngine.ensure(platform)
+    m_max = max_m_bound(engine, plan, period, cap=m_cap)
     candidates = list(range(1, m_max + 1, max(1, m_step)))
     schedules = [
         build_oscillating_schedule(
-            plan, adjusted_high_ratios(platform, plan, m, period), period, m
+            plan, adjusted_high_ratios(engine, plan, m, period), period, m
         )
         for m in candidates
     ]
     if batch:
-        from repro.thermal.batch import stepup_peak_temperature_batch
-
-        peaks = [
-            r.value
-            for r in stepup_peak_temperature_batch(
-                platform.model, schedules, check=False
-            )
-        ]
+        peaks = [r.value for r in engine.stepup_peak_batch(schedules)]
     else:
-        peaks = [
-            stepup_peak_temperature(platform.model, sched, check=False).value
-            for sched in schedules
-        ]
+        peaks = [engine.stepup_peak(sched).value for sched in schedules]
     history: list[tuple[int, float]] = []
     best_m, best_peak, best_sched = 1, np.inf, None
     for m, sched, peak in zip(candidates, schedules, peaks):
@@ -202,7 +201,7 @@ def choose_m(
 
 def effective_throughput(
     schedule: PeriodicSchedule,
-    platform: Platform,
+    platform: Platform | ThermalEngine,
     transitions_per_period: np.ndarray | None = None,
 ) -> float:
     """Eq.-5 throughput net of DVFS clock-halt losses.
@@ -213,6 +212,7 @@ def effective_throughput(
     following the paper's accounting we charge ``(v_H + v_L) * tau`` per
     up/down pair, i.e. ``tau * sum of the two voltages`` per two switches.
     """
+    platform = as_platform(platform)
     volts = schedule.voltage_matrix
     lengths = schedule.lengths
     total_work = float((volts * lengths[:, None]).sum())

@@ -27,16 +27,15 @@ from repro.algorithms.oscillation import (
     plan_modes,
 )
 from repro.algorithms.tpt import fill_headroom
+from repro.engine import ThermalEngine
 from repro.platform import Platform
 from repro.schedule.transforms import shift_core
-from repro.thermal.batch import peak_temperature_batch
-from repro.thermal.peak import peak_temperature
 
 __all__ = ["pco"]
 
 
 def pco(
-    platform: Platform,
+    platform: Platform | ThermalEngine,
     period: float = 0.02,
     m_cap: int = DEFAULT_M_CAP,
     m_step: int = 1,
@@ -53,9 +52,12 @@ def pco(
         oscillation cycle).
     Other parameters are forwarded to :func:`repro.algorithms.ao.ao`.
     """
+    engine = ThermalEngine.ensure(platform)
+    platform = engine.platform
+    mark = engine.checkpoint()
     t0 = time.perf_counter()
     base = ao(
-        platform,
+        engine,
         period=period,
         m_cap=m_cap,
         m_step=m_step,
@@ -68,11 +70,7 @@ def pco(
     plan = plan_modes(platform, np.asarray(base.details["continuous_voltages"]))
     cycle = period / m_opt
 
-    def general_peak(sched):
-        return peak_temperature(platform.model, sched)
-
-    def general_peak_batch(scheds):
-        return peak_temperature_batch(platform.model, scheds)
+    general_peak, general_peak_batch = engine.peak_fns(general=True)
 
     # Greedy sequential phase search: shift one core at a time, keep the
     # offset that minimizes the (general) stable peak.  Each core's whole
@@ -81,35 +79,38 @@ def pco(
     peak = general_peak(sched)
     shifts = [0.0] * platform.n_cores
     candidates = [k * cycle / shift_grid for k in range(shift_grid)]
-    for core in range(platform.n_cores):
-        best_off, best_val = 0.0, peak.value
-        trials = [shift_core(sched, core, off) for off in candidates[1:]]
-        for off, trial_peak in zip(candidates[1:], general_peak_batch(trials)):
-            if trial_peak.value < best_val - 1e-12:
-                best_off, best_val = off, trial_peak.value
-        if best_off > 0.0:
-            sched = shift_core(sched, core, best_off)
-            shifts[core] = best_off
-            peak = general_peak(sched)
+    with engine.phase("phase_search"):
+        for core in range(platform.n_cores):
+            best_off, best_val = 0.0, peak.value
+            trials = [shift_core(sched, core, off) for off in candidates[1:]]
+            for off, trial_peak in zip(candidates[1:], general_peak_batch(trials)):
+                if trial_peak.value < best_val - 1e-12:
+                    best_off, best_val = off, trial_peak.value
+            if best_off > 0.0:
+                sched = shift_core(sched, core, best_off)
+                shifts[core] = best_off
+                peak = general_peak(sched)
 
     # Refill the headroom the interleaving created (ratios grow under the
     # general peak engine, with the shifts re-applied on every rebuild).
     fill_iters = 0
     if peak.value < platform.theta_max - 1e-6 and plan.oscillating.any():
-        ratios, sched, peak, fill_iters = fill_headroom(
-            platform, plan, ratios, period, m_opt,
-            t_unit=t_unit, peak_fn=general_peak,
-            peak_batch_fn=general_peak_batch, adaptive=adaptive,
-            shifts=shifts,
-        )
+        with engine.phase("fill"):
+            ratios, sched, peak, fill_iters = fill_headroom(
+                engine, plan, ratios, period, m_opt,
+                t_unit=t_unit, peak_fn=general_peak,
+                peak_batch_fn=general_peak_batch, adaptive=adaptive,
+                shifts=shifts,
+            )
 
     throughput = float(effective_throughput(sched, platform))
     peak_value = float(peak.value)
     # Same AO >= EXS safety net as ao(): never lose to the best constant
     # assignment reachable from the lower-neighbor floor.
-    sched, peak_value, throughput, floor_volts = constant_floor_guard(
-        platform, plan, period, sched, peak_value, throughput
-    )
+    with engine.phase("floor_guard"):
+        sched, peak_value, throughput, floor_volts = constant_floor_guard(
+            platform, plan, period, sched, peak_value, throughput
+        )
     elapsed = time.perf_counter() - t0
     details = dict(base.details)
     details.update(
@@ -129,4 +130,5 @@ def pco(
         feasible=bool(peak_value <= platform.theta_max + 1e-6),
         runtime_s=elapsed,
         details=details,
+        stats=engine.stats_since(mark),
     )

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.algorithms.base import SchedulerResult
+from repro.engine import ThermalEngine
 from repro.errors import SolverError
 from repro.platform import Platform
 from repro.schedule.intervals import StateInterval
@@ -53,7 +54,7 @@ class ReactiveTrace:
 
 
 def reactive_throttling(
-    platform: Platform,
+    platform: Platform | ThermalEngine,
     sensor_period: float = 1e-3,
     guard_band: float = 0.0,
     horizon: float | None = None,
@@ -92,10 +93,12 @@ def reactive_throttling(
     """
     if sensor_period <= 0:
         raise SolverError(f"sensor_period must be > 0, got {sensor_period}")
-    model = platform.model
-    ladder = platform.ladder
-    n = platform.n_cores
-    theta_max = platform.theta_max
+    engine = ThermalEngine.ensure(platform)
+    mark = engine.checkpoint()
+    model = engine.model
+    ladder = engine.ladder
+    n = engine.n_cores
+    theta_max = engine.theta_max
     throttle_at = theta_max - guard_band
     raise_at = throttle_at - max(guard_band, 0.5)
 
@@ -166,4 +169,5 @@ def reactive_throttling(
             "guard_band": guard_band,
             "sensor_period": sensor_period,
         },
+        stats=engine.stats_since(mark),
     )

@@ -1,0 +1,255 @@
+"""Uniform solver registry: name -> ``solve(engine, **params) -> SchedulerResult``.
+
+Every scheduler in the repo — the paper's four comparison approaches plus
+the auxiliary ones — registers here under a :class:`SolverSpec`, giving
+experiments and the CLI one dispatch surface instead of per-module
+imports and if/elif ladders.  All entry points share the same shape:
+
+``spec.solve(platform_or_engine, **params) -> SchedulerResult``
+
+where the first argument may be a bare :class:`~repro.platform.Platform`
+or a shared :class:`~repro.engine.ThermalEngine` (passing one engine
+across several solvers shares the model's caches and attributes the
+instrumentation counters per run).
+
+Two schedulers that historically returned something else are adapted:
+``continuous`` (the ideal relaxation, a :class:`ContinuousAssignment`)
+and ``minpeak`` (the fixed-workload dual, a :class:`MinPeakResult`) are
+wrapped so they too emit a :class:`SchedulerResult` here; their native
+entry points remain available unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms.ao import ao
+from repro.algorithms.base import SchedulerResult
+from repro.algorithms.continuous import continuous_assignment
+from repro.algorithms.dark import dark_silicon_ao
+from repro.algorithms.exs import exs, exs_pruned
+from repro.algorithms.lns import lns
+from repro.algorithms.minpeak import minimize_peak
+from repro.algorithms.pco import pco
+from repro.algorithms.reactive import reactive_throttling
+from repro.engine import ThermalEngine
+from repro.errors import SolverError
+from repro.platform import Platform
+from repro.schedule.builders import constant_schedule
+
+__all__ = ["SolverSpec", "SOLVERS", "get_solver", "solve"]
+
+
+def _solve_continuous(
+    platform: Platform | ThermalEngine, period: float = 0.02
+) -> SchedulerResult:
+    """The ideal continuous relaxation, wrapped as a ``SchedulerResult``.
+
+    The emitted constant schedule uses the (generally off-ladder)
+    continuous voltages — the upper bound AO chases, not something
+    discrete hardware can run.
+    """
+    engine = ThermalEngine.ensure(platform)
+    mark = engine.checkpoint()
+    t0 = time.perf_counter()
+    cont = continuous_assignment(engine.platform)
+    peak = float(engine.steady_state_cores(cont.voltages).max())
+    elapsed = time.perf_counter() - t0
+    return SchedulerResult(
+        name="continuous",
+        schedule=constant_schedule(cont.voltages, period=period),
+        throughput=cont.throughput,
+        peak_theta=peak,
+        feasible=bool(peak <= engine.theta_max + 1e-9),
+        runtime_s=elapsed,
+        details={"clamped": cont.clamped, "core_theta": cont.core_theta},
+        stats=engine.stats_since(mark),
+    )
+
+
+def _solve_minpeak(
+    platform: Platform | ThermalEngine,
+    target_speeds=None,
+    period: float = 0.02,
+    m_cap: int | None = None,
+    m_step: int = 1,
+) -> SchedulerResult:
+    """The fixed-workload dual, wrapped as a ``SchedulerResult``.
+
+    ``target_speeds`` defaults to the platform's ideal continuous
+    voltages, so the bare call minimizes the peak of the workload AO
+    would try to schedule.  ``feasible`` compares the minimized peak
+    against the platform threshold — the dual itself does not enforce it.
+    """
+    engine = ThermalEngine.ensure(platform)
+    mark = engine.checkpoint()
+    t0 = time.perf_counter()
+    if target_speeds is None:
+        target_speeds = continuous_assignment(engine.platform).voltages
+    kwargs = {} if m_cap is None else {"m_cap": m_cap}
+    mp = minimize_peak(
+        engine, target_speeds, period=period, m_step=m_step, **kwargs
+    )
+    elapsed = time.perf_counter() - t0
+    targets = np.asarray(mp.target_speeds, dtype=float)
+    return SchedulerResult(
+        name="minpeak",
+        schedule=mp.schedule,
+        throughput=float(np.mean(targets)),
+        peak_theta=float(mp.peak.value),
+        feasible=bool(mp.peak.value <= engine.theta_max + 1e-6),
+        runtime_s=elapsed,
+        details={
+            "m": mp.m,
+            "target_speeds": targets,
+            "constant_bound_theta": mp.constant_bound_theta,
+        },
+        stats=engine.stats_since(mark),
+    )
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """One registered scheduler.
+
+    Attributes
+    ----------
+    name:
+        Canonical registry key (also the lookup key, case-insensitive).
+    func:
+        The entry point, ``func(platform_or_engine, **params)``.
+    description:
+        One-line summary for ``repro list``.
+    params:
+        Names of the keyword parameters the solver accepts; :func:`solve`
+        rejects anything else, and :func:`repro.experiments.comparison.run_cell`
+        filters its common parameter pool through this set.
+    quick:
+        Parameter overrides for seconds-scale smoke runs (``--quick``).
+    schedule_is_artifact:
+        Whether ``result.schedule`` is the solver's actual output (so an
+        independent peak evaluation of it must reproduce ``peak_theta``).
+        False for ``reactive``, whose schedule is a pseudo-schedule
+        summarizing a closed-loop simulation.
+    """
+
+    name: str
+    func: Callable[..., SchedulerResult]
+    description: str
+    params: tuple[str, ...] = ()
+    quick: Mapping[str, object] = field(default_factory=dict)
+    schedule_is_artifact: bool = True
+
+    def solve(
+        self, platform: Platform | ThermalEngine, **params
+    ) -> SchedulerResult:
+        """Run the solver after validating parameter names."""
+        unknown = set(params) - set(self.params)
+        if unknown:
+            raise SolverError(
+                f"solver {self.name!r} does not accept "
+                f"{sorted(unknown)}; valid parameters: {sorted(self.params)}"
+            )
+        return self.func(platform, **params)
+
+
+_AO_PARAMS = (
+    "period", "m_cap", "m_step", "t_unit", "fill", "adaptive", "active_mask",
+)
+
+#: All registered schedulers, keyed by canonical name.
+SOLVERS: dict[str, SolverSpec] = {
+    spec.name: spec
+    for spec in (
+        SolverSpec(
+            name="LNS",
+            func=lns,
+            description="lower-neighboring-speed rounding baseline",
+            params=("period",),
+        ),
+        SolverSpec(
+            name="EXS",
+            func=exs,
+            description="exhaustive constant-mode search (Algorithm 1)",
+        ),
+        SolverSpec(
+            name="EXS-pruned",
+            func=exs_pruned,
+            description="monotonicity-pruned exact constant-mode search",
+        ),
+        SolverSpec(
+            name="AO",
+            func=ao,
+            description="aligned oscillation (Algorithm 2)",
+            params=_AO_PARAMS,
+            quick={"m_cap": 16},
+        ),
+        SolverSpec(
+            name="PCO",
+            func=pco,
+            description="phase-conscious oscillation (AO + spatial interleaving)",
+            params=(
+                "period", "m_cap", "m_step", "t_unit", "shift_grid", "adaptive",
+            ),
+            quick={"m_cap": 16, "shift_grid": 4},
+        ),
+        SolverSpec(
+            name="dark",
+            func=dark_silicon_ao,
+            description="AO with greedy dark-silicon power gating",
+            params=("max_dark", "explore_extra") + _AO_PARAMS,
+            quick={"m_cap": 16},
+        ),
+        SolverSpec(
+            name="reactive",
+            func=reactive_throttling,
+            description="reactive DTM threshold-throttling baseline",
+            params=(
+                "sensor_period", "guard_band", "horizon", "settle_fraction",
+            ),
+            schedule_is_artifact=False,
+        ),
+        SolverSpec(
+            name="continuous",
+            func=_solve_continuous,
+            description="ideal continuous relaxation (upper bound)",
+            params=("period",),
+        ),
+        SolverSpec(
+            name="minpeak",
+            func=_solve_minpeak,
+            description="fixed-workload peak minimization (the dual)",
+            params=("target_speeds", "period", "m_cap", "m_step"),
+            quick={"m_cap": 16},
+        ),
+    )
+}
+
+_BY_LOWER = {name.lower(): name for name in SOLVERS}
+
+
+def get_solver(name: str) -> SolverSpec:
+    """Look a solver up by name (case-insensitive).
+
+    Raises
+    ------
+    KeyError
+        With the list of known solvers when the name is not registered.
+    """
+    canonical = _BY_LOWER.get(str(name).lower())
+    if canonical is None:
+        raise KeyError(
+            f"unknown solver {name!r}; known solvers: {', '.join(SOLVERS)}"
+        )
+    return SOLVERS[canonical]
+
+
+def solve(
+    name: str, platform: Platform | ThermalEngine, **params
+) -> SchedulerResult:
+    """Dispatch ``name`` through the registry: lookup, validate, run."""
+    return get_solver(name).solve(platform, **params)

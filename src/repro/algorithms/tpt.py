@@ -25,58 +25,20 @@ the literal loop).
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
-
 import numpy as np
 
 from repro.algorithms.oscillation import ModePlan, build_oscillating_schedule
+from repro.engine import PeakBatchFn, PeakFn, ThermalEngine
 from repro.errors import ConvergenceError
 from repro.platform import Platform
 from repro.schedule.periodic import PeriodicSchedule
-from repro.thermal.peak import PeakResult, stepup_peak_temperature
+from repro.thermal.peak import PeakResult
 
 __all__ = ["enforce_threshold", "fill_headroom"]
 
-PeakFn = Callable[[PeriodicSchedule], PeakResult]
-PeakBatchFn = Callable[[Sequence[PeriodicSchedule]], "list[PeakResult]"]
-
-
-def _default_peak_fn(platform: Platform) -> PeakFn:
-    return lambda sched: stepup_peak_temperature(platform.model, sched, check=False)
-
-
-def _default_peak_batch_fn(platform: Platform) -> PeakBatchFn:
-    from repro.thermal.batch import stepup_peak_temperature_batch
-
-    return lambda scheds: stepup_peak_temperature_batch(
-        platform.model, scheds, check=False
-    )
-
-
-def _resolve_peak_fns(
-    platform: Platform,
-    peak_fn: PeakFn | None,
-    peak_batch_fn: PeakBatchFn | None,
-) -> tuple[PeakFn, PeakBatchFn]:
-    """Fill in whichever of the scalar / batched peak engines is missing.
-
-    A custom scalar ``peak_fn`` without a batched counterpart falls back
-    to a per-candidate loop, so callers that only know how to price one
-    schedule keep working unchanged.
-    """
-    if peak_fn is None and peak_batch_fn is None:
-        return _default_peak_fn(platform), _default_peak_batch_fn(platform)
-    if peak_fn is None:
-        assert peak_batch_fn is not None
-        return (lambda sched: peak_batch_fn([sched])[0]), peak_batch_fn
-    if peak_batch_fn is None:
-        scalar = peak_fn
-        return scalar, (lambda scheds: [scalar(s) for s in scheds])
-    return peak_fn, peak_batch_fn
-
 
 def enforce_threshold(
-    platform: Platform,
+    platform: Platform | ThermalEngine,
     plan: ModePlan,
     ratios: np.ndarray,
     period: float,
@@ -118,12 +80,13 @@ def enforce_threshold(
         If the loop cannot reach feasibility (every ratio exhausted) or
         runs out of iterations.
     """
-    peak_fn, peak_batch_fn = _resolve_peak_fns(platform, peak_fn, peak_batch_fn)
+    engine = ThermalEngine.ensure(platform)
+    peak_fn, peak_batch_fn = engine.resolve_peak_fns(peak_fn, peak_batch_fn)
     cycle = period / m
     if t_unit is None:
         t_unit = cycle / 200.0
     unit_ratio = t_unit / cycle
-    theta_max = platform.theta_max
+    theta_max = engine.theta_max
 
     ratios = np.asarray(ratios, dtype=float).copy()
     movable = plan.v_high > plan.v_low + 1e-12
@@ -180,7 +143,7 @@ def enforce_threshold(
 
 
 def fill_headroom(
-    platform: Platform,
+    platform: Platform | ThermalEngine,
     plan: ModePlan,
     ratios: np.ndarray,
     period: float,
@@ -203,24 +166,18 @@ def fill_headroom(
     automatically.  Candidate moves of one iteration are priced as a
     single batch through ``peak_batch_fn``.
     """
-    if peak_fn is None and peak_batch_fn is None and shifts is not None and any(
-        off > 0 for off in shifts
-    ):
-        from repro.thermal.batch import peak_temperature_batch
-        from repro.thermal.peak import peak_temperature
-
-        def peak_fn(sched):
-            return peak_temperature(platform.model, sched)
-
-        def peak_batch_fn(scheds):
-            return peak_temperature_batch(platform.model, scheds)
-
-    peak_fn, peak_batch_fn = _resolve_peak_fns(platform, peak_fn, peak_batch_fn)
+    engine = ThermalEngine.ensure(platform)
+    # Shifted schedules are no longer step-up, so shifts without an
+    # explicit peak engine select the general MatEx-style pair.
+    needs_general = shifts is not None and any(off > 0 for off in shifts)
+    peak_fn, peak_batch_fn = engine.resolve_peak_fns(
+        peak_fn, peak_batch_fn, general=needs_general
+    )
     cycle = period / m
     if t_unit is None:
         t_unit = cycle / 200.0
     unit_ratio = t_unit / cycle
-    theta_max = platform.theta_max
+    theta_max = engine.theta_max
 
     ratios = np.asarray(ratios, dtype=float).copy()
     movable = plan.v_high > plan.v_low + 1e-12

@@ -1,11 +1,21 @@
-"""Command-line entry point: ``repro <experiment-id> [options]``.
+"""Command-line entry point with subcommands.
 
-Regenerates any table/figure of the paper from the terminal::
+::
 
-    repro table2
-    repro fig6 --quick
-    repro fig3 --option step=0.5
+    repro run <experiment> [--quick] [-o key=value] [--csv PATH]
+    repro solve <solver> [-o key=value]
     repro list
+
+``repro run`` regenerates a table/figure of the paper; ``repro solve``
+runs one registered scheduler on a freshly built paper platform and
+prints its result plus the thermal-engine instrumentation; ``repro
+list`` enumerates both registries.  The historical single-positional
+form (``repro fig6 --quick``) still works — a bare experiment id is
+rewritten to ``run <id>``.
+
+Option values parse as int, float, bool, or string, and comma-separated
+values become tuples (``-o core_counts=2,3``), so grid experiments are
+fully drivable from the command line.
 """
 
 from __future__ import annotations
@@ -18,58 +28,40 @@ from repro.experiments.registry import EXPERIMENTS, run_experiment
 
 __all__ = ["main"]
 
-#: Scale-reduced keyword arguments per experiment for --quick runs.
-QUICK_ARGS: dict[str, dict] = {
-    "table2": {},
-    "table3": {"periods": (0.020, 0.010)},
-    "fig2": {},
-    "fig3": {"step": 1.0, "grid_per_interval": 24},
-    "fig4": {"warmup_periods": 4, "samples_per_interval": 8},
-    "fig5": {"m_max": 5},
-    "fig6": {"core_counts": (2, 3), "level_counts": (2, 3), "m_cap": 16},
-    "fig7": {"core_counts": (2, 3), "t_max_values": (55.0, 65.0), "m_cap": 16},
-    "table5": {"core_counts": (2, 3), "level_counts": (2, 3), "m_cap": 16},
-    "headline": {"core_counts": (2, 3), "level_counts": (2, 3),
-                 "t_max_values": (55.0, 65.0), "m_cap": 16},
-    "tsp": {"core_counts": (2, 3), "m_cap": 16},
-    "reactive": {"guard_bands": (0.0, 3.0), "m_cap": 16},
-}
+#: ``repro solve`` option keys consumed by the platform builder rather
+#: than the solver.
+PLATFORM_KEYS = ("n_cores", "n_levels", "t_max_c", "t_ambient_c", "tau", "topology")
 
 
-def _parse_option(text: str):
-    """Parse a ``key=value`` option with a best-effort typed value."""
-    if "=" not in text:
-        raise argparse.ArgumentTypeError(f"option must be key=value, got {text!r}")
-    key, raw = text.split("=", 1)
+def _parse_scalar(raw: str):
+    """Best-effort typed scalar: int, then float, then bool, then str."""
     for caster in (int, float):
         try:
-            return key, caster(raw)
+            return caster(raw)
         except ValueError:
             continue
     if raw.lower() in ("true", "false"):
-        return key, raw.lower() == "true"
-    return key, raw
+        return raw.lower() == "true"
+    return raw
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description=(
-            "Reproduce the tables and figures of 'Performance Maximization "
-            "via Frequency Oscillation on Temperature Constrained Multi-core "
-            "Processors' (ICPP 2016)."
-        ),
-    )
-    parser.add_argument(
-        "experiment",
-        help="experiment id (or 'list' to enumerate available experiments)",
-    )
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="run a scale-reduced version (seconds instead of minutes)",
-    )
+def _parse_option(text: str):
+    """Parse a ``key=value`` option with a best-effort typed value.
+
+    Comma-separated values become tuples: ``core_counts=2,3`` ->
+    ``("core_counts", (2, 3))``.  A trailing comma forces a 1-tuple
+    (``core_counts=9,``).
+    """
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(f"option must be key=value, got {text!r}")
+    key, raw = text.split("=", 1)
+    if "," in raw:
+        parts = [p for p in raw.split(",") if p != ""]
+        return key, tuple(_parse_scalar(p) for p in parts)
+    return key, _parse_scalar(raw)
+
+
+def _add_option_argument(parser: argparse.ArgumentParser, target: str) -> None:
     parser.add_argument(
         "--option",
         "-o",
@@ -77,23 +69,26 @@ def main(argv: list[str] | None = None) -> int:
         default=[],
         type=_parse_option,
         metavar="KEY=VALUE",
-        help="override an experiment keyword argument (repeatable)",
-    )
-    parser.add_argument(
-        "--csv",
-        metavar="PATH",
         help=(
-            "additionally write the result grid as CSV "
-            "(experiments exposing a grid only)"
+            f"override a {target} keyword argument (repeatable; "
+            "comma-separated values become tuples, e.g. -o core_counts=2,3)"
         ),
     )
-    args = parser.parse_args(argv)
 
-    if args.experiment == "list":
-        for name in sorted(EXPERIMENTS):
-            print(name)
-        return 0
 
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("experiments:")
+    for name in sorted(EXPERIMENTS):
+        print(f"  {name:<10s} {EXPERIMENTS[name].description}")
+    from repro.algorithms.registry import SOLVERS
+
+    print("solvers:")
+    for name, spec in SOLVERS.items():
+        print(f"  {name:<11s} {spec.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
     if args.experiment not in EXPERIMENTS:
         print(
             f"unknown experiment {args.experiment!r}; known: "
@@ -102,11 +97,10 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
 
-    kwargs = dict(QUICK_ARGS.get(args.experiment, {})) if args.quick else {}
-    kwargs.update(dict(args.option))
+    kwargs = dict(args.option)
 
     t0 = time.perf_counter()
-    result = run_experiment(args.experiment, **kwargs)
+    result = run_experiment(args.experiment, quick=args.quick, **kwargs)
     elapsed = time.perf_counter() - t0
 
     if hasattr(result, "format"):
@@ -129,6 +123,99 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"\n[{args.experiment} finished in {elapsed:.1f} s]")
     return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.algorithms.registry import SOLVERS, get_solver
+    from repro.engine import ThermalEngine
+    from repro.platform import paper_platform
+
+    try:
+        spec = get_solver(args.solver)
+    except KeyError:
+        print(
+            f"unknown solver {args.solver!r}; known: {', '.join(SOLVERS)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    options = dict(args.option)
+    platform_kwargs = {k: options.pop(k) for k in PLATFORM_KEYS if k in options}
+    platform_kwargs.setdefault("n_cores", 3)
+    if args.quick:
+        for key, value in spec.quick.items():
+            options.setdefault(key, value)
+
+    platform = paper_platform(**platform_kwargs)
+    engine = ThermalEngine(platform)
+    try:
+        result = spec.solve(engine, **options)
+    except Exception as exc:  # surface solver errors as a clean exit code
+        print(f"{spec.name} failed: {exc}", file=sys.stderr)
+        return 1
+
+    print(result.summary())
+    stats = result.stats if result.stats is not None else engine.stats()
+    print(stats.format())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the tables and figures of 'Performance Maximization "
+            "via Frequency Oscillation on Temperature Constrained Multi-core "
+            "Processors' (ICPP 2016)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p_run = sub.add_parser("run", help="regenerate one table/figure of the paper")
+    p_run.add_argument("experiment", help="experiment id (see 'repro list')")
+    p_run.add_argument(
+        "--quick",
+        action="store_true",
+        help="run a scale-reduced version (seconds instead of minutes)",
+    )
+    _add_option_argument(p_run, "experiment")
+    p_run.add_argument(
+        "--csv",
+        metavar="PATH",
+        help=(
+            "additionally write the result grid as CSV "
+            "(experiments exposing a grid only)"
+        ),
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_solve = sub.add_parser(
+        "solve", help="run one registered scheduler on a paper platform"
+    )
+    p_solve.add_argument("solver", help="solver name (see 'repro list')")
+    p_solve.add_argument(
+        "--quick",
+        action="store_true",
+        help="apply the solver's scale-reduced preset",
+    )
+    _add_option_argument(p_solve, "solver or platform")
+    p_solve.set_defaults(func=_cmd_solve)
+
+    p_list = sub.add_parser("list", help="enumerate experiments and solvers")
+    p_list.set_defaults(func=_cmd_list)
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Legacy form: `repro fig6 --quick` == `repro run fig6 --quick`
+    # (and the historical bare `repro list` is the list subcommand).
+    if argv and argv[0] not in ("run", "solve", "list", "-h", "--help"):
+        argv.insert(0, "run")
+
+    args = parser.parse_args(argv)
+    if getattr(args, "func", None) is None:
+        parser.print_help()
+        return 2
+    return args.func(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

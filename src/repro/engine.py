@@ -1,0 +1,402 @@
+"""The shared thermal evaluation engine every solver drives.
+
+Before this module, each scheduling algorithm took a bare
+:class:`~repro.platform.Platform`, privately picked between the scalar
+and batched peak kernels, and threaded them through ad-hoc
+``peak_fn`` / ``peak_batch_fn`` keyword plumbing.  :class:`ThermalEngine`
+centralizes that choice: it owns the bound
+:class:`~repro.thermal.model.ThermalModel` (and with it the
+steady-state and expm LRU caches), exposes the scalar *and* batched peak
+engines behind one interface, and instruments everything — steady-state
+solves, cache hit rates, expm applications, batch sizes, and per-phase
+wall time — so every :class:`~repro.algorithms.base.SchedulerResult` can
+report how much thermal work it cost (its ``stats`` field).
+
+Solvers accept either a ``Platform`` or a ``ThermalEngine``;
+:meth:`ThermalEngine.ensure` normalizes.  Passing one engine across
+several solver runs (as :func:`repro.experiments.comparison.run_cell`
+does) shares the model's caches between them, and
+:meth:`ThermalEngine.checkpoint` / :meth:`ThermalEngine.stats_since`
+attribute the counters to each run separately.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterator, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.platform import Platform
+from repro.schedule.periodic import PeriodicSchedule
+from repro.thermal.batch import (
+    peak_temperature_batch,
+    periodic_steady_state_batch,
+    stepup_peak_temperature_batch,
+)
+from repro.thermal.model import ThermalModel
+from repro.thermal.peak import PeakResult, peak_temperature, stepup_peak_temperature
+
+__all__ = ["EngineStats", "PeakBatchFn", "PeakFn", "ThermalEngine", "as_platform"]
+
+PeakFn = Callable[[PeriodicSchedule], PeakResult]
+PeakBatchFn = Callable[[Sequence[PeriodicSchedule]], "list[PeakResult]"]
+
+
+def as_platform(platform_or_engine: "Platform | ThermalEngine") -> Platform:
+    """The underlying :class:`Platform` of either a platform or an engine."""
+    if isinstance(platform_or_engine, ThermalEngine):
+        return platform_or_engine.platform
+    return platform_or_engine
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Thermal-work counters accumulated over a span of engine use.
+
+    Attributes
+    ----------
+    steady_state_solves:
+        Cholesky back-substitutions for single steady states (cache misses).
+    steady_state_cache_hits:
+        Steady-state requests served from the model's LRU.
+    steady_state_batch_rows:
+        Voltage vectors resolved through ``steady_state_batch`` (EXS path).
+    expm_applications:
+        Vector propagations through ``expm(A t)`` (scalar and batched).
+    expm_cache_hits:
+        Dense propagator requests served from the interval-keyed LRU.
+    peak_evals:
+        Scalar peak evaluations (step-up or general engine).
+    batch_calls / batch_candidates / max_batch:
+        Batched peak/stable-status calls, total candidates priced through
+        them, and the largest single batch.
+    phase_seconds:
+        Wall time per named solver phase (``choose_m``, ``tpt``, ...).
+    """
+
+    steady_state_solves: int = 0
+    steady_state_cache_hits: int = 0
+    steady_state_batch_rows: int = 0
+    expm_applications: int = 0
+    expm_cache_hits: int = 0
+    peak_evals: int = 0
+    batch_calls: int = 0
+    batch_candidates: int = 0
+    max_batch: int = 0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of steady-state requests served from the LRU."""
+        total = self.steady_state_solves + self.steady_state_cache_hits
+        return self.steady_state_cache_hits / total if total else 0.0
+
+    @property
+    def mean_batch(self) -> float:
+        """Average candidates per batched call."""
+        return self.batch_candidates / self.batch_calls if self.batch_calls else 0.0
+
+    def summary_line(self) -> str:
+        """One-line digest for :meth:`SchedulerResult.summary`."""
+        return (
+            f"ss_solves={self.steady_state_solves} "
+            f"(hit rate {self.cache_hit_rate:.0%}), "
+            f"expm={self.expm_applications}, "
+            f"peak_evals={self.peak_evals}, "
+            f"batches={self.batch_calls}x~{self.mean_batch:.0f} "
+            f"(max {self.max_batch})"
+        )
+
+    def format(self) -> str:
+        """Multi-line report including the per-phase wall-time breakdown."""
+        lines = [
+            "engine stats:",
+            f"  steady-state solves : {self.steady_state_solves} "
+            f"(+{self.steady_state_cache_hits} cached, "
+            f"hit rate {self.cache_hit_rate:.0%}, "
+            f"batch rows {self.steady_state_batch_rows})",
+            f"  expm applications   : {self.expm_applications} "
+            f"(+{self.expm_cache_hits} cached propagators)",
+            f"  peak evaluations    : {self.peak_evals} scalar, "
+            f"{self.batch_calls} batched "
+            f"({self.batch_candidates} candidates, max batch {self.max_batch})",
+        ]
+        if self.phase_seconds:
+            total = sum(self.phase_seconds.values())
+            lines.append(f"  phases ({total * 1e3:.1f} ms total):")
+            for name, secs in self.phase_seconds.items():
+                lines.append(f"    {name:<14s} {secs * 1e3:8.1f} ms")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-friendly dump of every counter."""
+        return {
+            "steady_state_solves": self.steady_state_solves,
+            "steady_state_cache_hits": self.steady_state_cache_hits,
+            "steady_state_batch_rows": self.steady_state_batch_rows,
+            "expm_applications": self.expm_applications,
+            "expm_cache_hits": self.expm_cache_hits,
+            "peak_evals": self.peak_evals,
+            "batch_calls": self.batch_calls,
+            "batch_candidates": self.batch_candidates,
+            "max_batch": self.max_batch,
+            "cache_hit_rate": self.cache_hit_rate,
+            "phase_seconds": dict(self.phase_seconds),
+        }
+
+
+class ThermalEngine:
+    """Instrumented facade over one platform's thermal machinery.
+
+    Parameters
+    ----------
+    platform:
+        The platform whose model, ladder, overhead and threshold the
+        engine serves.  The engine adds no state of its own beyond
+        counters — two engines over the same platform share the model's
+        caches (and attribute work to themselves via checkpoints).
+    """
+
+    def __init__(self, platform: Platform) -> None:
+        self.platform = platform
+        self._peak_evals = 0
+        self._batch_calls = 0
+        self._batch_candidates = 0
+        self._max_batch = 0
+        self._phase_seconds: dict[str, float] = {}
+        self._baseline = self.checkpoint()
+
+    @classmethod
+    def ensure(cls, platform_or_engine: "Platform | ThermalEngine") -> "ThermalEngine":
+        """Normalize a ``Platform | ThermalEngine`` argument to an engine."""
+        if isinstance(platform_or_engine, ThermalEngine):
+            return platform_or_engine
+        return cls(platform_or_engine)
+
+    # ------------------------------------------------------------------
+    # platform delegation
+    # ------------------------------------------------------------------
+
+    @property
+    def model(self) -> ThermalModel:
+        """The bound thermal model."""
+        return self.platform.model
+
+    @property
+    def n_cores(self) -> int:
+        """Number of cores."""
+        return self.platform.n_cores
+
+    @property
+    def theta_max(self) -> float:
+        """Peak threshold in normalized units (K above ambient)."""
+        return self.platform.theta_max
+
+    @property
+    def ladder(self):
+        """The platform's discrete voltage ladder."""
+        return self.platform.ladder
+
+    @property
+    def overhead(self):
+        """The platform's DVFS transition overhead."""
+        return self.platform.overhead
+
+    # ------------------------------------------------------------------
+    # steady state
+    # ------------------------------------------------------------------
+
+    def steady_state(self, voltages) -> np.ndarray:
+        """Node steady state for one voltage vector (LRU-cached)."""
+        return self.model.steady_state(voltages)
+
+    def steady_state_cores(self, voltages) -> np.ndarray:
+        """Core steady state for one voltage vector (LRU-cached)."""
+        return self.model.steady_state_cores(voltages)
+
+    def steady_state_batch(self, voltage_matrix) -> np.ndarray:
+        """Core steady states for a ``(batch, n_cores)`` voltage matrix."""
+        return self.model.steady_state_batch(voltage_matrix)
+
+    def feasible_constant(self, voltages) -> bool:
+        """Whether a constant assignment keeps ``T_inf`` under the threshold."""
+        return self.platform.feasible_constant(voltages)
+
+    # ------------------------------------------------------------------
+    # peak evaluation — scalar
+    # ------------------------------------------------------------------
+
+    def stepup_peak(self, schedule: PeriodicSchedule, check: bool = False,
+                    **kwargs) -> PeakResult:
+        """Theorem-1 stable peak of a step-up schedule."""
+        self._peak_evals += 1
+        return stepup_peak_temperature(self.model, schedule, check=check, **kwargs)
+
+    def general_peak(self, schedule: PeriodicSchedule, **kwargs) -> PeakResult:
+        """MatEx-style stable peak of an arbitrary schedule."""
+        self._peak_evals += 1
+        return peak_temperature(self.model, schedule, **kwargs)
+
+    # ------------------------------------------------------------------
+    # peak evaluation — batched (PR 1 kernels)
+    # ------------------------------------------------------------------
+
+    def _count_batch(self, k: int) -> None:
+        self._batch_calls += 1
+        self._batch_candidates += k
+        if k > self._max_batch:
+            self._max_batch = k
+
+    def stepup_peak_batch(self, schedules, check: bool = False,
+                          **kwargs) -> list[PeakResult]:
+        """Theorem-1 stable peaks of K step-up candidates in one pass."""
+        schedules = tuple(schedules)
+        self._count_batch(len(schedules))
+        return stepup_peak_temperature_batch(
+            self.model, schedules, check=check, **kwargs
+        )
+
+    def general_peak_batch(self, schedules, **kwargs) -> list[PeakResult]:
+        """General stable peaks of K arbitrary candidates in one pass."""
+        schedules = tuple(schedules)
+        self._count_batch(len(schedules))
+        return peak_temperature_batch(self.model, schedules, **kwargs)
+
+    def periodic_steady_state_batch(self, schedules) -> list:
+        """Eq.-(4) stable statuses of K candidates in one pass."""
+        schedules = tuple(schedules)
+        self._count_batch(len(schedules))
+        return periodic_steady_state_batch(self.model, schedules)
+
+    # ------------------------------------------------------------------
+    # peak-engine selection
+    # ------------------------------------------------------------------
+
+    def peak_fns(self, general: bool = False,
+                 grid_per_interval: int | None = None) -> tuple[PeakFn, PeakBatchFn]:
+        """The (scalar, batched) peak engine pair of the requested kind.
+
+        ``general=False`` returns the Theorem-1 step-up fast path;
+        ``general=True`` the MatEx-style search valid for arbitrary
+        schedules (optionally at a custom ``grid_per_interval``).
+        """
+        if general:
+            kwargs = {}
+            if grid_per_interval is not None:
+                kwargs["grid_per_interval"] = grid_per_interval
+
+            def scalar(sched: PeriodicSchedule) -> PeakResult:
+                return self.general_peak(sched, **kwargs)
+
+            def batch(scheds) -> list[PeakResult]:
+                return self.general_peak_batch(scheds, **kwargs)
+
+            return scalar, batch
+
+        def scalar_stepup(sched: PeriodicSchedule) -> PeakResult:
+            return self.stepup_peak(sched, check=False)
+
+        def batch_stepup(scheds) -> list[PeakResult]:
+            return self.stepup_peak_batch(scheds, check=False)
+
+        return scalar_stepup, batch_stepup
+
+    def resolve_peak_fns(
+        self,
+        peak_fn: PeakFn | None = None,
+        peak_batch_fn: PeakBatchFn | None = None,
+        general: bool = False,
+        grid_per_interval: int | None = None,
+    ) -> tuple[PeakFn, PeakBatchFn]:
+        """Fill in whichever of the scalar / batched peak engines is missing.
+
+        With neither given, returns :meth:`peak_fns` of the requested
+        kind.  A custom scalar ``peak_fn`` without a batched counterpart
+        falls back to a per-candidate loop, so callers that only know how
+        to price one schedule keep working unchanged.
+        """
+        if peak_fn is None and peak_batch_fn is None:
+            return self.peak_fns(general=general, grid_per_interval=grid_per_interval)
+        if peak_fn is None:
+            assert peak_batch_fn is not None
+            return (lambda sched: peak_batch_fn([sched])[0]), peak_batch_fn
+        if peak_batch_fn is None:
+            scalar = peak_fn
+            return scalar, (lambda scheds: [scalar(s) for s in scheds])
+        return peak_fn, peak_batch_fn
+
+    # ------------------------------------------------------------------
+    # instrumentation
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Accumulate the wall time of one named solver phase."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - t0
+            self._phase_seconds[name] = self._phase_seconds.get(name, 0.0) + elapsed
+
+    def checkpoint(self) -> dict[str, Any]:
+        """Snapshot of the raw counter totals (pass to :meth:`stats_since`)."""
+        model = self.model
+        # Reading the eigendecomposition's counters must not force the
+        # O(n^3) decomposition; absent means zero applications so far.
+        eigen = model.__dict__.get("eigen")
+        return {
+            "ss_solves": model.ss_solves,
+            "ss_cache_hits": model.ss_cache_hits,
+            "ss_batch_rows": model.ss_batch_rows,
+            "expm_applications": eigen.expm_applications if eigen else 0,
+            "expm_cache_hits": eigen.expm_cache_hits if eigen else 0,
+            "peak_evals": self._peak_evals,
+            "batch_calls": self._batch_calls,
+            "batch_candidates": self._batch_candidates,
+            "max_batch": self._max_batch,
+            "phase_seconds": dict(self._phase_seconds),
+        }
+
+    def stats_since(self, checkpoint: dict[str, Any]) -> EngineStats:
+        """Counter deltas accumulated since ``checkpoint``."""
+        now = self.checkpoint()
+        phases = {
+            name: secs - checkpoint["phase_seconds"].get(name, 0.0)
+            for name, secs in now["phase_seconds"].items()
+            if secs - checkpoint["phase_seconds"].get(name, 0.0) > 0.0
+        }
+        return EngineStats(
+            steady_state_solves=now["ss_solves"] - checkpoint["ss_solves"],
+            steady_state_cache_hits=now["ss_cache_hits"] - checkpoint["ss_cache_hits"],
+            steady_state_batch_rows=now["ss_batch_rows"] - checkpoint["ss_batch_rows"],
+            expm_applications=(
+                now["expm_applications"] - checkpoint["expm_applications"]
+            ),
+            expm_cache_hits=now["expm_cache_hits"] - checkpoint["expm_cache_hits"],
+            peak_evals=now["peak_evals"] - checkpoint["peak_evals"],
+            batch_calls=now["batch_calls"] - checkpoint["batch_calls"],
+            batch_candidates=now["batch_candidates"] - checkpoint["batch_candidates"],
+            max_batch=now["max_batch"],
+            phase_seconds=phases,
+        )
+
+    def stats(self) -> EngineStats:
+        """Counters accumulated since engine creation (or :meth:`reset_stats`)."""
+        return self.stats_since(self._baseline)
+
+    def reset_stats(self) -> None:
+        """Re-zero :meth:`stats` (checkpoints taken earlier stay valid)."""
+        self._phase_seconds = {}
+        self._baseline = self.checkpoint()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ThermalEngine({self.n_cores} cores, "
+            f"{len(self.platform.ladder)} levels, "
+            f"T_max={self.platform.t_max_c} C)"
+        )

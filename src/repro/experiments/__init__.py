@@ -1,5 +1,10 @@
 """Experiment harness: regenerate every table and figure of the paper."""
 
-from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    get_experiment,
+    run_experiment,
+)
 
-__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+__all__ = ["EXPERIMENTS", "ExperimentSpec", "get_experiment", "run_experiment"]

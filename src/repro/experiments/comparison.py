@@ -14,8 +14,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.algorithms import ao, exs, lns, pco
 from repro.algorithms.base import SchedulerResult
+from repro.algorithms.registry import get_solver
+from repro.engine import ThermalEngine
 from repro.errors import InfeasibleError
 from repro.platform import Platform, paper_platform
 
@@ -52,7 +53,7 @@ class CellResult:
 
 
 def run_cell(
-    platform: Platform,
+    platform: Platform | ThermalEngine,
     approaches: tuple[str, ...] = APPROACHES,
     period: float = 0.02,
     m_cap: int = 128,
@@ -61,33 +62,37 @@ def run_cell(
 ) -> CellResult:
     """Run the selected approaches on one platform configuration.
 
-    An approach that raises :class:`~repro.errors.InfeasibleError` (no
-    feasible assignment at this threshold) is recorded as absent.
+    Approaches are dispatched through the solver registry
+    (:mod:`repro.algorithms.registry`); the common parameter pool below is
+    filtered per solver through its declared ``params``, and one shared
+    :class:`~repro.engine.ThermalEngine` serves the whole cell, so the
+    approaches share the model's caches while each result carries its own
+    counters.  An approach that raises
+    :class:`~repro.errors.InfeasibleError` (no feasible assignment at this
+    threshold) is recorded as absent.
     """
+    engine = ThermalEngine.ensure(platform)
+    common = {
+        "period": period,
+        "m_cap": m_cap,
+        "m_step": m_step,
+        "shift_grid": shift_grid,
+    }
     results: dict[str, SchedulerResult] = {}
     for name in approaches:
         try:
-            if name == "LNS":
-                results[name] = lns(platform, period=period)
-            elif name == "EXS":
-                results[name] = exs(platform)
-            elif name == "AO":
-                results[name] = ao(
-                    platform, period=period, m_cap=m_cap, m_step=m_step
-                )
-            elif name == "PCO":
-                results[name] = pco(
-                    platform, period=period, m_cap=m_cap, m_step=m_step,
-                    shift_grid=shift_grid,
-                )
-            else:
-                raise ValueError(f"unknown approach {name!r}")
+            spec = get_solver(name)
+        except KeyError as exc:
+            raise ValueError(f"unknown approach {name!r}") from exc
+        kwargs = {k: v for k, v in common.items() if k in spec.params}
+        try:
+            results[name] = spec.solve(engine, **kwargs)
         except InfeasibleError:
             pass
     return CellResult(
-        n_cores=platform.n_cores,
-        n_levels=len(platform.ladder),
-        t_max_c=platform.t_max_c,
+        n_cores=engine.n_cores,
+        n_levels=len(engine.ladder),
+        t_max_c=engine.platform.t_max_c,
         results=results,
     )
 

@@ -1,14 +1,17 @@
-"""Experiment registry: artifact id -> callable.
+"""Experiment registry: artifact id -> :class:`ExperimentSpec`.
 
 Each entry regenerates one table or figure of the paper (or an aggregate
-claim).  ``run_experiment(id, **kwargs)`` forwards keyword arguments to
-the experiment function — every experiment accepts scale-reducing
-parameters for quick runs (see each module's docstring).
+claim) and carries its metadata — a one-line description for ``repro
+list`` and the scale-reduced ``--quick`` parameter preset that used to
+live in the CLI.  ``run_experiment(id, **kwargs)`` forwards keyword
+arguments to the experiment function — every experiment accepts
+scale-reducing parameters (see each module's docstring).
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
 
 from repro.experiments.fig2 import fig2
 from repro.experiments.fig3 import fig3
@@ -22,26 +25,120 @@ from repro.experiments.table5 import table5
 from repro.experiments.tsp_comparison import tsp_comparison
 from repro.experiments.reactive_comparison import reactive_comparison
 
-__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment", "run_experiment"]
 
-EXPERIMENTS: dict[str, Callable] = {
-    "table2": table2,
-    "table3": table3,
-    "fig2": fig2,
-    "fig3": fig3,
-    "fig4": fig4,
-    "fig5": fig5,
-    "fig6": fig6,
-    "fig7": fig7,
-    "table5": table5,
-    "headline": headline,
-    "tsp": tsp_comparison,
-    "reactive": reactive_comparison,
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered paper artifact.
+
+    Attributes
+    ----------
+    name:
+        The artifact id (``fig6``, ``table5``, ...).
+    run:
+        The experiment function; keyword arguments scale it.
+    description:
+        One-line summary for ``repro list``.
+    quick:
+        Keyword overrides for a seconds-scale smoke run (``--quick``).
+    """
+
+    name: str
+    run: Callable
+    description: str
+    quick: Mapping[str, object] = field(default_factory=dict)
+
+
+#: All registered experiments, keyed by artifact id.
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.name: spec
+    for spec in (
+        ExperimentSpec(
+            name="table2",
+            run=table2,
+            description="motivation: constant vs oscillating peak (Table II)",
+        ),
+        ExperimentSpec(
+            name="table3",
+            run=table3,
+            description="motivation: oscillation period sweep (Table III)",
+            quick={"periods": (0.020, 0.010)},
+        ),
+        ExperimentSpec(
+            name="fig2",
+            run=fig2,
+            description="motivation: constant-assignment temperature traces",
+        ),
+        ExperimentSpec(
+            name="fig3",
+            run=fig3,
+            description="motivation: oscillating-schedule temperature traces",
+            quick={"step": 1.0, "grid_per_interval": 24},
+        ),
+        ExperimentSpec(
+            name="fig4",
+            run=fig4,
+            description="stable-status convergence of the periodic schedule",
+            quick={"warmup_periods": 4, "samples_per_interval": 8},
+        ),
+        ExperimentSpec(
+            name="fig5",
+            run=fig5,
+            description="peak temperature vs oscillation count m",
+            quick={"m_max": 5},
+        ),
+        ExperimentSpec(
+            name="fig6",
+            run=fig6,
+            description="throughput comparison over cores x ladder levels",
+            quick={"core_counts": (2, 3), "level_counts": (2, 3), "m_cap": 16},
+        ),
+        ExperimentSpec(
+            name="fig7",
+            run=fig7,
+            description="throughput comparison over cores x T_max",
+            quick={
+                "core_counts": (2, 3),
+                "t_max_values": (55.0, 65.0),
+                "m_cap": 16,
+            },
+        ),
+        ExperimentSpec(
+            name="table5",
+            run=table5,
+            description="algorithm wall-clock cost comparison (Table V)",
+            quick={"core_counts": (2, 3), "level_counts": (2, 3), "m_cap": 16},
+        ),
+        ExperimentSpec(
+            name="headline",
+            run=headline,
+            description="aggregate AO-vs-EXS improvement claim",
+            quick={
+                "core_counts": (2, 3),
+                "level_counts": (2, 3),
+                "t_max_values": (55.0, 65.0),
+                "m_cap": 16,
+            },
+        ),
+        ExperimentSpec(
+            name="tsp",
+            run=tsp_comparison,
+            description="AO vs thermal-safe-power budgets",
+            quick={"core_counts": (2, 3), "m_cap": 16},
+        ),
+        ExperimentSpec(
+            name="reactive",
+            run=reactive_comparison,
+            description="AO vs reactive DTM guard-band sweep",
+            quick={"guard_bands": (0.0, 3.0), "m_cap": 16},
+        ),
+    )
 }
 
 
 def get_experiment(name: str) -> Callable:
-    """Look an experiment up by id.
+    """Look an experiment's run function up by id.
 
     Raises
     ------
@@ -49,13 +146,23 @@ def get_experiment(name: str) -> Callable:
         With the list of known ids when the name is unknown.
     """
     try:
-        return EXPERIMENTS[name]
+        return EXPERIMENTS[name].run
     except KeyError:
         raise KeyError(
             f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
 
 
-def run_experiment(name: str, **kwargs):
-    """Run an experiment by id and return its result object."""
-    return get_experiment(name)(**kwargs)
+def run_experiment(name: str, quick: bool = False, **kwargs):
+    """Run an experiment by id and return its result object.
+
+    With ``quick`` the spec's scale-reduced preset is applied first;
+    explicit ``kwargs`` override preset entries.
+    """
+    spec = EXPERIMENTS.get(name)
+    if spec is None:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    merged = {**spec.quick, **kwargs} if quick else kwargs
+    return spec.run(**merged)

@@ -78,6 +78,12 @@ class ThermalModel:
         # set when the cache fills.
         self._g_cho = scipy.linalg.cho_factor(self.g_eff)
         self._ss_cache: OrderedDict[tuple[float, ...], np.ndarray] = OrderedDict()
+        #: Instrumentation: steady-state Cholesky solves (cache misses).
+        self.ss_solves = 0
+        #: Instrumentation: steady-state requests served from the LRU.
+        self.ss_cache_hits = 0
+        #: Instrumentation: voltage rows resolved via :meth:`steady_state_batch`.
+        self.ss_batch_rows = 0
 
     # ------------------------------------------------------------------
     # basic properties
@@ -137,8 +143,10 @@ class ThermalModel:
         key = tuple(np.round(np.atleast_1d(np.asarray(voltages, dtype=float)), 12))
         cached = self._ss_cache.get(key)
         if cached is not None:
+            self.ss_cache_hits += 1
             self._ss_cache.move_to_end(key)
             return cached
+        self.ss_solves += 1
         theta = scipy.linalg.cho_solve(self._g_cho, self.injection(voltages))
         if len(self._ss_cache) >= self.SS_CACHE_SIZE:
             self._ss_cache.popitem(last=False)
@@ -168,6 +176,7 @@ class ThermalModel:
             raise ThermalModelError(
                 f"voltage_matrix must be (batch, {self.n_cores}), got {volts.shape}"
             )
+        self.ss_batch_rows += volts.shape[0]
         psi = np.asarray(self.power.psi(volts))
         rhs = np.zeros((self.n_nodes, volts.shape[0]))
         rhs[self.network.core_nodes, :] = psi.T

@@ -149,6 +149,11 @@ class EigenExpm:
             )
 
         self._expm_cache: OrderedDict[float, np.ndarray] = OrderedDict()
+        #: Instrumentation: vector propagations through ``expm(A t)``
+        #: (scalar applications count 1, batched ones count per row).
+        self.expm_applications = 0
+        #: Instrumentation: dense propagators served from the LRU.
+        self.expm_cache_hits = 0
 
     @property
     def n(self) -> int:
@@ -159,6 +164,7 @@ class EigenExpm:
         """Dense ``expm(A t)`` (O(n^2) given the cached decomposition)."""
         if t < 0:
             raise ValueError(f"time must be non-negative, got {t}")
+        self.expm_applications += 1
         return (self.w * np.exp(self.eigenvalues * t)[None, :]) @ self.w_inv
 
     def expm_cached(self, t: float) -> np.ndarray:
@@ -169,6 +175,7 @@ class EigenExpm:
         key = float(t)
         cached = self._expm_cache.get(key)
         if cached is not None:
+            self.expm_cache_hits += 1
             self._expm_cache.move_to_end(key)
             return cached
         mat = self.expm(key)
@@ -182,6 +189,7 @@ class EigenExpm:
         """Compute ``expm(A t) @ x`` without forming the matrix."""
         if t < 0:
             raise ValueError(f"time must be non-negative, got {t}")
+        self.expm_applications += 1
         coeff = self.w_inv @ np.asarray(x, dtype=float)
         return self.w @ (np.exp(self.eigenvalues * t) * coeff)
 
@@ -213,6 +221,7 @@ class EigenExpm:
             )
         if times.size and times.min() < 0:
             raise ValueError(f"times must be non-negative, got min {times.min()}")
+        self.expm_applications += times.shape[0]
         coeff = x @ self.w_inv.T  # (k, n) eigenbasis coordinates
         coeff *= np.exp(times[:, None] * self.eigenvalues[None, :])
         return coeff @ self.w.T
@@ -229,6 +238,7 @@ class EigenExpm:
         time grid — this is the hot path of dense peak searches.
         """
         times = np.asarray(times, dtype=float)
+        self.expm_applications += times.shape[0] if times.ndim else 1
         coeff = self.w_inv @ np.asarray(x, dtype=float)
         # exp_matrix[t, k] = exp(lam_k * times[t])
         exp_matrix = np.exp(np.outer(times, self.eigenvalues))

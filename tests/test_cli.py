@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import QUICK_ARGS, _parse_option, main
+from repro.cli import PLATFORM_KEYS, _parse_option, main
 from repro.experiments.registry import EXPERIMENTS
 
 
@@ -20,6 +20,21 @@ class TestParseOption:
     def test_string(self):
         assert _parse_option("name=abc") == ("name", "abc")
 
+    def test_tuple_of_ints(self):
+        assert _parse_option("core_counts=2,3") == ("core_counts", (2, 3))
+
+    def test_tuple_of_floats(self):
+        assert _parse_option("t_max_values=55.0,65.0") == (
+            "t_max_values",
+            (55.0, 65.0),
+        )
+
+    def test_trailing_comma_singleton(self):
+        assert _parse_option("core_counts=9,") == ("core_counts", (9,))
+
+    def test_mixed_tuple(self):
+        assert _parse_option("x=1,2.5,abc") == ("x", (1, 2.5, "abc"))
+
     def test_missing_equals(self):
         import argparse
 
@@ -33,9 +48,15 @@ class TestMain:
         out = capsys.readouterr().out
         for name in EXPERIMENTS:
             assert name in out
+        # The solver registry is enumerated alongside the experiments.
+        assert "AO" in out and "PCO" in out
 
     def test_unknown_experiment(self, capsys):
         assert main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_experiment_via_run(self, capsys):
+        assert main(["run", "nope"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
     def test_quick_fig2(self, capsys):
@@ -43,6 +64,10 @@ class TestMain:
         out = capsys.readouterr().out
         assert "Fig. 2" in out
         assert "finished in" in out
+
+    def test_run_subcommand(self, capsys):
+        assert main(["run", "table2", "--quick"]) == 0
+        assert "Table II" in capsys.readouterr().out
 
     def test_quick_table2(self, capsys):
         assert main(["table2", "--quick"]) == 0
@@ -53,8 +78,10 @@ class TestMain:
         out = capsys.readouterr().out
         assert out.count("\n1 ") or "1 " in out
 
-    def test_quick_args_reference_valid_experiments(self):
-        assert set(QUICK_ARGS) <= set(EXPERIMENTS)
+    def test_quick_presets_reference_valid_experiments(self):
+        with_quick = {n for n, spec in EXPERIMENTS.items() if spec.quick}
+        assert with_quick <= set(EXPERIMENTS)
+        assert "fig6" in with_quick
 
     def test_csv_export(self, tmp_path, capsys):
         out = tmp_path / "grid.csv"
@@ -68,3 +95,32 @@ class TestMain:
         assert main(["fig2", "--csv", str(out)]) == 0
         assert not out.exists()
         assert "ignored" in capsys.readouterr().err
+
+
+class TestSolve:
+    def test_solve_ao_prints_engine_stats(self, capsys):
+        assert main(["solve", "AO", "-o", "n_cores=3", "-o", "m_cap=8"]) == 0
+        out = capsys.readouterr().out
+        assert "AO: THR=" in out
+        assert "engine stats:" in out
+        assert "steady-state solves" in out
+
+    def test_solve_case_insensitive(self, capsys):
+        assert main(["solve", "lns", "-o", "n_cores=2"]) == 0
+        assert "LNS: THR=" in capsys.readouterr().out
+
+    def test_solve_unknown_solver(self, capsys):
+        assert main(["solve", "nope"]) == 2
+        assert "unknown solver" in capsys.readouterr().err
+
+    def test_solve_rejects_bad_param(self, capsys):
+        assert main(["solve", "EXS", "-o", "m_cap=8"]) == 1
+        assert "does not accept" in capsys.readouterr().err
+
+    def test_platform_keys_match_paper_platform(self):
+        import inspect
+
+        from repro.platform import paper_platform
+
+        params = set(inspect.signature(paper_platform).parameters)
+        assert set(PLATFORM_KEYS) <= params

@@ -1,0 +1,129 @@
+"""Tests for the uniform solver registry and cross-solver parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.base import SchedulerResult
+from repro.algorithms.registry import SOLVERS, get_solver, solve
+from repro.engine import ThermalEngine
+from repro.errors import SolverError
+from repro.platform import paper_platform
+from repro.thermal.peak import peak_temperature
+
+ALL_NAMES = (
+    "LNS",
+    "EXS",
+    "EXS-pruned",
+    "AO",
+    "PCO",
+    "dark",
+    "reactive",
+    "continuous",
+    "minpeak",
+)
+
+#: Small per-solver parameter sets keeping the parity sweep fast.
+QUICK_PARAMS = {
+    "AO": {"m_cap": 8},
+    "PCO": {"m_cap": 8, "shift_grid": 2},
+    "dark": {"m_cap": 8},
+    "minpeak": {"m_cap": 8},
+    "reactive": {"horizon": 0.2},
+}
+
+
+class TestRegistryShape:
+    def test_all_nine_solvers_registered(self):
+        assert set(SOLVERS) == set(ALL_NAMES)
+
+    def test_specs_are_consistent(self):
+        for name, spec in SOLVERS.items():
+            assert spec.name == name
+            assert callable(spec.func)
+            assert spec.description
+            # Quick presets must only use declared parameters.
+            assert set(spec.quick) <= set(spec.params)
+
+    def test_get_solver_case_insensitive(self):
+        assert get_solver("ao") is SOLVERS["AO"]
+        assert get_solver("EXS-PRUNED") is SOLVERS["EXS-pruned"]
+
+    def test_get_solver_unknown(self):
+        with pytest.raises(KeyError, match="known solvers"):
+            get_solver("simulated-annealing")
+
+    def test_solve_rejects_unknown_params(self, platform3):
+        with pytest.raises(SolverError, match="does not accept"):
+            SOLVERS["EXS"].solve(platform3, m_cap=8)
+
+    def test_module_level_solve_dispatches(self, platform3):
+        result = solve("LNS", platform3)
+        assert isinstance(result, SchedulerResult)
+        assert result.name == "LNS"
+
+
+class TestSolverParity:
+    """Every registered solver's ``feasible`` flag must agree with an
+    independent peak evaluation of its schedule against the threshold."""
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_feasible_matches_independent_peak_check(self, platform3, name):
+        spec = SOLVERS[name]
+        params = QUICK_PARAMS.get(name, {})
+        result = spec.solve(platform3, **params)
+
+        assert isinstance(result, SchedulerResult)
+        assert result.stats is not None
+
+        if spec.schedule_is_artifact:
+            independent = peak_temperature(platform3.model, result.schedule)
+            peak = independent.value
+            # The reported peak must describe the reported schedule.
+            assert peak == pytest.approx(result.peak_theta, abs=5e-4)
+        else:
+            # reactive's schedule summarizes a closed-loop trace; its own
+            # measured peak is the ground truth.
+            peak = result.peak_theta
+
+        assert result.feasible == (peak <= platform3.theta_max + 1e-3)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_accepts_engine_and_platform(self, platform3, name):
+        """First argument may be a Platform or a shared ThermalEngine."""
+        spec = SOLVERS[name]
+        if name in ("EXS", "EXS-pruned", "reactive", "dark", "PCO"):
+            pytest.skip("covered by the parity sweep; too slow to run twice")
+        params = QUICK_PARAMS.get(name, {})
+        engine = ThermalEngine(platform3)
+        via_engine = spec.solve(engine, **params)
+        via_platform = spec.solve(platform3, **params)
+        assert via_engine.throughput == pytest.approx(via_platform.throughput)
+        assert via_engine.peak_theta == pytest.approx(via_platform.peak_theta)
+
+
+class TestNineCoreRegression:
+    """Pin AO/PCO/EXS outputs on the paper's 9-core platform.
+
+    These values were captured immediately before the engine refactor;
+    the refactor must preserve them bit-for-bit (tolerance 1e-9).
+    """
+
+    @pytest.fixture(scope="class")
+    def platform9(self):
+        return paper_platform(9, n_levels=2, t_max_c=55.0)
+
+    def test_ao_pinned(self, platform9):
+        result = SOLVERS["AO"].solve(platform9, m_cap=16)
+        assert result.throughput == pytest.approx(0.8473367064983373, abs=1e-9)
+        assert result.peak_theta == pytest.approx(19.996671840567576, abs=1e-9)
+
+    def test_exs_pinned(self, platform9):
+        result = SOLVERS["EXS"].solve(platform9)
+        assert result.throughput == pytest.approx(0.6, abs=1e-9)
+        assert result.peak_theta == pytest.approx(4.649942053295519, abs=1e-9)
+
+    def test_pco_pinned(self, platform9):
+        result = SOLVERS["PCO"].solve(platform9, m_cap=16, shift_grid=4)
+        assert result.throughput == pytest.approx(0.8485033731650043, abs=1e-9)
+        assert result.peak_theta == pytest.approx(19.99340725999901, abs=1e-9)
