@@ -67,6 +67,42 @@ def compact_report(raw: dict) -> dict:
     }
 
 
+def runner_smoke() -> dict | None:
+    """Time a tiny parallel sweep through the sharded runner.
+
+    Returns a small summary dict for the snapshot, or ``None`` if the
+    smoke run failed — the benchmark report is still written either way.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        import time
+
+        from repro.runner import RunnerConfig, comparison_units
+        from repro.runner import run as run_units
+
+        units = comparison_units(
+            (2, 3), (2,), (55.0,), ("LNS", "EXS", "AO"),
+            {"period": 0.02, "m_cap": 8, "m_step": 1, "shift_grid": 8},
+        )
+        t0 = time.perf_counter()
+        report = run_units(
+            units, RunnerConfig(parallel=True, max_workers=2, retries=0)
+        )
+        wall = time.perf_counter() - t0
+        if report.errors:
+            return None
+        return {
+            "units": report.total,
+            "ok": report.ok,
+            "workers": 2,
+            "wall_s": _round6(wall),
+        }
+    except Exception as exc:  # pragma: no cover - diagnostic path
+        print(f"runner smoke failed (report written without it): {exc}",
+              file=sys.stderr)
+        return None
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     env = dict(os.environ)
@@ -93,7 +129,11 @@ def main(argv: list[str] | None = None) -> int:
     proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
     if proc.returncode == 0 and scratch.exists():
         raw = json.loads(scratch.read_text())
-        REPORT.write_text(json.dumps(compact_report(raw), indent=1) + "\n")
+        doc = compact_report(raw)
+        smoke = runner_smoke()
+        if smoke is not None:
+            doc["runner_smoke"] = smoke
+        REPORT.write_text(json.dumps(doc, indent=1) + "\n")
         print(f"wrote {REPORT}")
     scratch.unlink(missing_ok=True)
     return proc.returncode

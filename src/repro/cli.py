@@ -3,6 +3,8 @@
 ::
 
     repro run <experiment> [--quick] [-o key=value] [--csv PATH]
+                           [--parallel] [--workers N] [--timeout S]
+                           [--retries N] [--run-dir DIR | --resume DIR]
     repro solve <solver> [-o key=value]
     repro list
 
@@ -12,6 +14,15 @@ prints its result plus the thermal-engine instrumentation; ``repro
 list`` enumerates both registries.  The historical single-positional
 form (``repro fig6 --quick``) still works — a bare experiment id is
 rewritten to ``run <id>``.
+
+Grid experiments (``comparison``, ``fig6``, ``fig7``, ``table5``,
+``headline``) execute through the fault-tolerant sharded runner: with
+``--parallel`` their work units fan out over worker processes with a
+per-unit ``--timeout`` and bounded ``--retries``; with ``--run-dir``
+every finished unit is journaled so a crashed or interrupted sweep
+continues via ``--resume DIR``, re-running only the missing units.  A
+sweep whose units failed terminally still completes (structured error
+rows) but exits with status 3.
 
 Option values parse as int, float, bool, or string, and comma-separated
 values become tuples (``-o core_counts=2,3``), so grid experiments are
@@ -88,6 +99,36 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _runner_kwargs(args: argparse.Namespace) -> dict:
+    """Translate the runner CLI flags into experiment keyword arguments."""
+    from repro.runner import RunnerConfig, print_progress
+
+    kwargs: dict = {
+        "runner": RunnerConfig(
+            parallel=bool(args.parallel or args.workers),
+            max_workers=args.workers,
+            timeout_s=args.timeout,
+            retries=args.retries if args.retries is not None else 1,
+        ),
+        "progress": print_progress,
+    }
+    if args.resume:
+        kwargs["run_dir"] = args.resume
+        kwargs["resume"] = True
+    elif args.run_dir:
+        kwargs["run_dir"] = args.run_dir
+    return kwargs
+
+
+def _collect_reports(result) -> list:
+    """Find the sharded-runner report(s) attached to an experiment result."""
+    grids = []
+    if getattr(result, "grid", None) is not None:
+        grids.append(result.grid)
+    grids.extend(getattr(result, "grids", ()))
+    return [g.report for g in grids if getattr(g, "report", None) is not None]
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.experiment not in EXPERIMENTS:
         print(
@@ -98,6 +139,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
 
     kwargs = dict(args.option)
+    spec = EXPERIMENTS[args.experiment]
+    runner_flags = (
+        args.parallel or args.workers or args.timeout is not None
+        or args.retries is not None or args.run_dir or args.resume
+    )
+    if runner_flags:
+        if not spec.accepts_runner:
+            runner_capable = sorted(
+                n for n, s in EXPERIMENTS.items() if s.accepts_runner
+            )
+            print(
+                f"{args.experiment!r} does not run through the sharded "
+                f"runner; runner flags apply to: {', '.join(runner_capable)}",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs.update(_runner_kwargs(args))
 
     t0 = time.perf_counter()
     result = run_experiment(args.experiment, quick=args.quick, **kwargs)
@@ -121,7 +179,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
 
+    reports = _collect_reports(result)
+    for report in reports:
+        print(report.summary())
+
     print(f"\n[{args.experiment} finished in {elapsed:.1f} s]")
+    if any(report.failures for report in reports):
+        print(
+            "[sweep completed with failed units — see error rows above]",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 
@@ -187,6 +255,42 @@ def main(argv: list[str] | None = None) -> int:
             "additionally write the result grid as CSV "
             "(experiments exposing a grid only)"
         ),
+    )
+    runner_group = p_run.add_argument_group(
+        "sharded runner (grid experiments only)"
+    )
+    runner_group.add_argument(
+        "--parallel",
+        action="store_true",
+        help="fan work units out over worker processes",
+    )
+    runner_group.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="worker process count (implies --parallel; default: CPU count)",
+    )
+    runner_group.add_argument(
+        "--timeout",
+        type=float,
+        metavar="S",
+        help="per-unit wall-clock deadline in seconds (parallel mode)",
+    )
+    runner_group.add_argument(
+        "--retries",
+        type=int,
+        metavar="N",
+        help="retries per failed unit before its error row is final (default 1)",
+    )
+    runner_group.add_argument(
+        "--run-dir",
+        metavar="DIR",
+        help="journal finished units into DIR (enables later --resume)",
+    )
+    runner_group.add_argument(
+        "--resume",
+        metavar="DIR",
+        help="continue an interrupted run from DIR, re-running only missing units",
     )
     p_run.set_defaults(func=_cmd_run)
 

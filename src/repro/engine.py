@@ -23,7 +23,7 @@ attribute the counters to each run separately.
 from __future__ import annotations
 
 import time
-from collections.abc import Callable, Iterator, Sequence
+from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any
@@ -147,6 +147,55 @@ class EngineStats:
             "cache_hit_rate": self.cache_hit_rate,
             "phase_seconds": dict(self.phase_seconds),
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EngineStats":
+        """Rebuild stats from :meth:`as_dict` output (derived keys ignored)."""
+        return cls(
+            steady_state_solves=int(data.get("steady_state_solves", 0)),
+            steady_state_cache_hits=int(data.get("steady_state_cache_hits", 0)),
+            steady_state_batch_rows=int(data.get("steady_state_batch_rows", 0)),
+            expm_applications=int(data.get("expm_applications", 0)),
+            expm_cache_hits=int(data.get("expm_cache_hits", 0)),
+            peak_evals=int(data.get("peak_evals", 0)),
+            batch_calls=int(data.get("batch_calls", 0)),
+            batch_candidates=int(data.get("batch_candidates", 0)),
+            max_batch=int(data.get("max_batch", 0)),
+            phase_seconds={
+                str(k): float(v)
+                for k, v in (data.get("phase_seconds") or {}).items()
+            },
+        )
+
+    def combine(self, other: "EngineStats") -> "EngineStats":
+        """Counter-wise sum of two stat spans (``max_batch`` takes the max)."""
+        phases = dict(self.phase_seconds)
+        for name, secs in other.phase_seconds.items():
+            phases[name] = phases.get(name, 0.0) + secs
+        return EngineStats(
+            steady_state_solves=self.steady_state_solves + other.steady_state_solves,
+            steady_state_cache_hits=(
+                self.steady_state_cache_hits + other.steady_state_cache_hits
+            ),
+            steady_state_batch_rows=(
+                self.steady_state_batch_rows + other.steady_state_batch_rows
+            ),
+            expm_applications=self.expm_applications + other.expm_applications,
+            expm_cache_hits=self.expm_cache_hits + other.expm_cache_hits,
+            peak_evals=self.peak_evals + other.peak_evals,
+            batch_calls=self.batch_calls + other.batch_calls,
+            batch_candidates=self.batch_candidates + other.batch_candidates,
+            max_batch=max(self.max_batch, other.max_batch),
+            phase_seconds=phases,
+        )
+
+    @classmethod
+    def sum(cls, items: "Iterable[EngineStats]") -> "EngineStats":
+        """Aggregate many per-unit stat spans into one run-level total."""
+        total = cls()
+        for item in items:
+            total = total.combine(item)
+        return total
 
 
 class ThermalEngine:

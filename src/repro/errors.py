@@ -60,3 +60,12 @@ class InfeasibleError(SolverError):
 
 class ConvergenceError(SolverError):
     """An iterative routine exhausted its iteration budget before converging."""
+
+
+class RunnerError(ReproError, RuntimeError):
+    """The sharded experiment runner was misused or its run state is corrupt.
+
+    Raised e.g. when resuming into a run directory whose manifest does not
+    match the requested unit set, or when a fresh run targets a directory
+    that already holds another run's journal.
+    """

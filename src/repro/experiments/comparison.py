@@ -1,16 +1,25 @@
 """Shared machinery for the algorithm-comparison experiments (Figs. 6-7, Table V).
 
 Runs LNS / EXS / AO / PCO on a platform grid and collects throughput,
-feasibility and wall-clock time per cell.  Grid cells are independent, so
-:func:`build_grid` optionally fans them out over a
-``concurrent.futures.ProcessPoolExecutor`` (``parallel=True``); each
-worker rebuilds its platform from the cell spec, so nothing heavier than
-the result travels across process boundaries.
+feasibility and wall-clock time per cell.  The grid decomposes into one
+work unit per ``(cell, algo)`` pair and executes through the
+fault-tolerant sharded runner (:mod:`repro.runner`): sequentially by
+default, fanned out over worker processes with per-unit timeout and
+retry when ``parallel=True`` (or a custom
+:class:`~repro.runner.RunnerConfig` is given).  With a ``run_dir``,
+finished units are journaled to disk as they settle and
+``resume=True`` continues an interrupted sweep, re-running only the
+missing units; either way each worker rebuilds its platform from the
+cell spec, so nothing heavier than a JSON row travels across process
+boundaries.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -18,9 +27,18 @@ from repro.algorithms.base import SchedulerResult
 from repro.algorithms.registry import get_solver
 from repro.engine import ThermalEngine
 from repro.errors import InfeasibleError
-from repro.platform import Platform, paper_platform
+from repro.platform import Platform
+from repro.runner import RunnerConfig, RunReport, comparison_units, run as run_units
+from repro.schedule.serialization import result_from_dict
 
-__all__ = ["CellResult", "run_cell", "ComparisonGrid"]
+__all__ = [
+    "CellResult",
+    "run_cell",
+    "ComparisonGrid",
+    "build_grid",
+    "ComparisonResult",
+    "comparison",
+]
 
 APPROACHES = ("LNS", "EXS", "AO", "PCO")
 
@@ -99,9 +117,16 @@ def run_cell(
 
 @dataclass(frozen=True)
 class ComparisonGrid:
-    """A collection of cells plus helpers over them."""
+    """A collection of cells plus helpers over them.
+
+    ``report`` carries the sharded runner's
+    :class:`~repro.runner.RunReport` (per-unit journal rows, failure
+    counts, aggregated engine stats) when the grid was built through
+    :func:`build_grid`; it does not participate in equality.
+    """
 
     cells: tuple[CellResult, ...]
+    report: RunReport | None = field(default=None, compare=False, repr=False)
 
     def find(self, n_cores: int, n_levels: int | None = None,
              t_max_c: float | None = None) -> CellResult:
@@ -139,23 +164,45 @@ class ComparisonGrid:
         return to_csv(headers, rows)
 
 
-def _run_cell_spec(spec: tuple) -> CellResult:
-    """Build the platform for one grid cell and run it (pickle-friendly).
+def _assemble_cells(
+    core_counts,
+    level_counts,
+    t_max_values,
+    approaches: tuple[str, ...],
+    tau: float,
+    common: Mapping[str, Any],
+    records: Mapping[str, Mapping[str, Any]],
+) -> tuple[CellResult, ...]:
+    """Regroup per-unit journal rows into per-cell results, in grid order.
 
-    Top-level so :class:`~concurrent.futures.ProcessPoolExecutor` can ship
-    it to workers; the platform (with its cached eigendecomposition) is
-    constructed inside the worker rather than serialized.
+    A unit whose row is missing, infeasible, or an error row simply
+    leaves its approach absent from the cell (the same contract
+    :func:`run_cell` uses for infeasible approaches), so a partially
+    failed sweep still yields a complete grid.
     """
-    n, lv, tm, tau, approaches, period, m_cap, m_step, shift_grid = spec
-    platform = paper_platform(n, n_levels=lv, t_max_c=tm, tau=tau)
-    return run_cell(
-        platform,
-        approaches=approaches,
-        period=period,
-        m_cap=m_cap,
-        m_step=m_step,
-        shift_grid=shift_grid,
-    )
+    cells: list[CellResult] = []
+    for n in core_counts:
+        for lv in level_counts:
+            for tm in t_max_values:
+                units = comparison_units(
+                    (n,), (lv,), (tm,), approaches, common, tau=tau
+                )
+                results: dict[str, SchedulerResult] = {}
+                for unit in units:
+                    row = records.get(unit.unit_id)
+                    if row is None or row.get("status") != "ok":
+                        continue
+                    result = result_from_dict(row["result"])
+                    results[result.name] = result
+                cells.append(
+                    CellResult(
+                        n_cores=int(n),
+                        n_levels=int(lv),
+                        t_max_c=float(tm),
+                        results=results,
+                    )
+                )
+    return tuple(cells)
 
 
 def build_grid(
@@ -170,26 +217,120 @@ def build_grid(
     tau: float = 5e-6,
     parallel: bool = False,
     max_workers: int | None = None,
+    runner: RunnerConfig | None = None,
+    run_dir: str | os.PathLike | None = None,
+    resume: bool = False,
+    progress: Callable | None = None,
 ) -> ComparisonGrid:
     """Run the comparison over a (cores x levels x T_max) grid.
 
-    With ``parallel`` the independent cells are distributed over a
-    ``ProcessPoolExecutor`` (``max_workers`` processes; default: the
-    executor's own heuristic).  Cell order — and therefore the emitted
-    grid — is identical in both modes; per-cell ``runtime_s`` values
-    remain meaningful because each cell still runs on one core.
+    The grid decomposes into one work unit per ``(cell, approach)`` pair
+    and executes through the sharded runner.  ``parallel`` /
+    ``max_workers`` build a default :class:`~repro.runner.RunnerConfig`;
+    pass ``runner`` explicitly for timeout/retry control.  With
+    ``run_dir`` every finished unit is journaled so ``resume=True``
+    continues an interrupted sweep.  Cell order — and therefore the
+    emitted grid — is identical in all modes, and a unit that fails
+    terminally records a structured error row (see
+    ``grid.report``) instead of aborting the sweep.
     """
-    specs = [
-        (n, lv, tm, tau, tuple(approaches), period, m_cap, m_step, shift_grid)
-        for n in core_counts
-        for lv in level_counts
-        for tm in t_max_values
-    ]
-    if parallel:
-        from concurrent.futures import ProcessPoolExecutor
+    config = runner or RunnerConfig(parallel=parallel, max_workers=max_workers)
+    common = {
+        "period": period,
+        "m_cap": m_cap,
+        "m_step": m_step,
+        "shift_grid": shift_grid,
+    }
+    units = comparison_units(
+        core_counts, level_counts, t_max_values, approaches, common, tau=tau
+    )
+    report = run_units(
+        units,
+        config=config,
+        run_dir=run_dir,
+        resume=resume,
+        progress=progress,
+        manifest_extra={
+            "experiment": "comparison",
+            "grid": {
+                "core_counts": [int(n) for n in core_counts],
+                "level_counts": [int(lv) for lv in level_counts],
+                "t_max_values": [float(t) for t in t_max_values],
+                "approaches": list(approaches),
+                "tau": float(tau),
+                "params": common,
+            },
+        },
+    )
+    cells = _assemble_cells(
+        core_counts, level_counts, t_max_values, tuple(approaches), tau,
+        common, report.records,
+    )
+    return ComparisonGrid(cells=cells, report=report)
 
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            cells = list(pool.map(_run_cell_spec, specs))
-    else:
-        cells = [_run_cell_spec(spec) for spec in specs]
-    return ComparisonGrid(cells=tuple(cells))
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Result of the standalone ``comparison`` experiment."""
+
+    grid: ComparisonGrid
+
+    def format(self) -> str:
+        from repro.experiments.reporting import ascii_table
+
+        names = sorted(
+            {name for cell in self.grid.cells for name in cell.results}
+        ) or list(APPROACHES)
+        rows = []
+        for cell in self.grid.cells:
+            rows.append(
+                (cell.n_cores, cell.n_levels, cell.t_max_c)
+                + tuple(cell.throughput(n) for n in names)
+            )
+        return ascii_table(
+            ["cores", "levels", "T_max (C)", *names],
+            rows,
+            title="Comparison sweep — throughput per approach",
+        )
+
+    def to_csv(self) -> str:
+        return self.grid.to_csv()
+
+
+def comparison(
+    core_counts: tuple[int, ...] = (2, 3, 6, 9),
+    level_counts: tuple[int, ...] = (2,),
+    t_max_values: tuple[float, ...] = (55.0,),
+    approaches: tuple[str, ...] = APPROACHES,
+    period: float = 0.02,
+    m_cap: int = 128,
+    m_step: int = 1,
+    shift_grid: int = 8,
+    tau: float = 5e-6,
+    runner: RunnerConfig | None = None,
+    run_dir: str | os.PathLike | None = None,
+    resume: bool = False,
+    progress: Callable | None = None,
+) -> ComparisonResult:
+    """The bare comparison sweep as a first-class experiment.
+
+    This is the runner's native workload: every CLI runner knob
+    (``--parallel``, ``--timeout``, ``--retries``, ``--run-dir``,
+    ``--resume``) maps directly onto one :func:`build_grid` call.
+    """
+    grid = build_grid(
+        core_counts=core_counts,
+        level_counts=level_counts,
+        t_max_values=t_max_values,
+        approaches=approaches,
+        period=period,
+        m_cap=m_cap,
+        m_step=m_step,
+        shift_grid=shift_grid,
+        tau=tau,
+        runner=runner,
+        run_dir=run_dir,
+        resume=resume,
+        progress=progress,
+    )
+    return ComparisonResult(grid=grid)

@@ -60,8 +60,16 @@ def fig6(
     m_cap: int = 128,
     m_step: int = 1,
     shift_grid: int = 8,
+    runner=None,
+    run_dir=None,
+    resume: bool = False,
+    progress=None,
 ) -> Fig6Result:
-    """Run the Fig. 6 sweep (pass smaller grids for quick checks)."""
+    """Run the Fig. 6 sweep (pass smaller grids for quick checks).
+
+    ``runner`` / ``run_dir`` / ``resume`` / ``progress`` forward to the
+    sharded runner behind :func:`~repro.experiments.comparison.build_grid`.
+    """
     grid = build_grid(
         core_counts=core_counts,
         level_counts=level_counts,
@@ -71,6 +79,10 @@ def fig6(
         m_cap=m_cap,
         m_step=m_step,
         shift_grid=shift_grid,
+        runner=runner,
+        run_dir=run_dir,
+        resume=resume,
+        progress=progress,
     )
     return Fig6Result(
         grid=grid,

@@ -57,8 +57,12 @@ def fig7(
     m_cap: int = 128,
     m_step: int = 1,
     shift_grid: int = 8,
+    runner=None,
+    run_dir=None,
+    resume: bool = False,
+    progress=None,
 ) -> Fig7Result:
-    """Run the Fig. 7 sweep."""
+    """Run the Fig. 7 sweep (runner kwargs forward to the sharded runner)."""
     grid = build_grid(
         core_counts=core_counts,
         level_counts=(2,),
@@ -68,6 +72,10 @@ def fig7(
         m_cap=m_cap,
         m_step=m_step,
         shift_grid=shift_grid,
+        runner=runner,
+        run_dir=run_dir,
+        resume=resume,
+        progress=progress,
     )
     return Fig7Result(
         grid=grid,

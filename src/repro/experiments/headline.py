@@ -23,6 +23,7 @@ class HeadlineResult:
     improvements: np.ndarray  # per-cell AO/EXS - 1
     mean_improvement: float
     max_improvement: float
+    grids: tuple[ComparisonGrid, ...] = ()
 
     def format(self) -> str:
         return "\n".join(
@@ -42,13 +43,25 @@ def headline(
     period: float = 0.02,
     m_cap: int = 128,
     m_step: int = 1,
+    runner=None,
+    run_dir=None,
+    resume: bool = False,
+    progress=None,
 ) -> HeadlineResult:
     """Aggregate AO-vs-EXS improvements over the evaluation grid.
 
     The Fig. 6 grid (levels swept at 55 C) and Fig. 7 grid (T_max swept at
-    2 levels) are merged; AO and EXS run on every cell.
+    2 levels) are merged; AO and EXS run on every cell.  With ``run_dir``
+    each constituent grid journals into its own subdirectory
+    (``fig6-grid/``, ``fig7-grid/``) so the whole aggregate resumes.
     """
+    from pathlib import Path
+
     cells: list = []
+
+    def _sub(name: str):
+        return None if run_dir is None else Path(run_dir) / name
+
     fig6_grid = build_grid(
         core_counts=core_counts,
         level_counts=level_counts,
@@ -57,6 +70,10 @@ def headline(
         period=period,
         m_cap=m_cap,
         m_step=m_step,
+        runner=runner,
+        run_dir=_sub("fig6-grid"),
+        resume=resume,
+        progress=progress,
     )
     cells.extend(fig6_grid.cells)
     fig7_grid = build_grid(
@@ -67,6 +84,10 @@ def headline(
         period=period,
         m_cap=m_cap,
         m_step=m_step,
+        runner=runner,
+        run_dir=_sub("fig7-grid"),
+        resume=resume,
+        progress=progress,
     )
     cells.extend(fig7_grid.cells)
 
@@ -76,4 +97,5 @@ def headline(
         improvements=imps,
         mean_improvement=float(imps.mean()) if imps.size else float("nan"),
         max_improvement=float(imps.max()) if imps.size else float("nan"),
+        grids=(fig6_grid, fig7_grid),
     )

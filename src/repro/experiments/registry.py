@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 
+from repro.experiments.comparison import comparison
 from repro.experiments.fig2 import fig2
 from repro.experiments.fig3 import fig3
 from repro.experiments.fig4 import fig4
@@ -42,12 +43,18 @@ class ExperimentSpec:
         One-line summary for ``repro list``.
     quick:
         Keyword overrides for a seconds-scale smoke run (``--quick``).
+    accepts_runner:
+        Whether the experiment function takes the sharded-runner keyword
+        arguments (``runner``, ``run_dir``, ``resume``, ``progress``) —
+        i.e. whether the CLI's ``--parallel`` / ``--timeout`` /
+        ``--retries`` / ``--run-dir`` / ``--resume`` flags apply.
     """
 
     name: str
     run: Callable
     description: str
     quick: Mapping[str, object] = field(default_factory=dict)
+    accepts_runner: bool = False
 
 
 #: All registered experiments, keyed by artifact id.
@@ -93,6 +100,7 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             run=fig6,
             description="throughput comparison over cores x ladder levels",
             quick={"core_counts": (2, 3), "level_counts": (2, 3), "m_cap": 16},
+            accepts_runner=True,
         ),
         ExperimentSpec(
             name="fig7",
@@ -103,12 +111,14 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
                 "t_max_values": (55.0, 65.0),
                 "m_cap": 16,
             },
+            accepts_runner=True,
         ),
         ExperimentSpec(
             name="table5",
             run=table5,
             description="algorithm wall-clock cost comparison (Table V)",
             quick={"core_counts": (2, 3), "level_counts": (2, 3), "m_cap": 16},
+            accepts_runner=True,
         ),
         ExperimentSpec(
             name="headline",
@@ -120,6 +130,20 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
                 "t_max_values": (55.0, 65.0),
                 "m_cap": 16,
             },
+            accepts_runner=True,
+        ),
+        ExperimentSpec(
+            name="comparison",
+            run=comparison,
+            description="bare AO/PCO/EXS/LNS sweep (sharded-runner native)",
+            quick={
+                "core_counts": (2, 3),
+                "level_counts": (2,),
+                "t_max_values": (55.0,),
+                "approaches": ("LNS", "EXS", "AO"),
+                "m_cap": 16,
+            },
+            accepts_runner=True,
         ),
         ExperimentSpec(
             name="tsp",

@@ -56,6 +56,10 @@ def table5(
     m_cap: int = 128,
     m_step: int = 1,
     shift_grid: int = 8,
+    runner=None,
+    run_dir=None,
+    resume: bool = False,
+    progress=None,
 ) -> Table5Result:
     """Time the three approaches over the configuration grid."""
     grid = build_grid(
@@ -67,5 +71,9 @@ def table5(
         m_cap=m_cap,
         m_step=m_step,
         shift_grid=shift_grid,
+        runner=runner,
+        run_dir=run_dir,
+        resume=resume,
+        progress=progress,
     )
     return Table5Result(grid=grid)

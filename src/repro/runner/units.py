@@ -1,0 +1,236 @@
+"""Work units: the sharding granularity of the experiment runner.
+
+A :class:`WorkUnit` is one independent piece of an experiment — for the
+comparison grids, one ``(cell, algo)`` pair: *run this one solver on this
+one platform configuration*.  Units carry only plain JSON data (the
+platform spec and solver parameters), never live objects, so they are
+cheap to ship to worker processes and their identity can be defined by
+content: :attr:`WorkUnit.unit_id` is a stable hash of the payload, which
+is what makes journals resumable across processes and machines.
+
+:func:`execute_unit` is the single worker entry point — it dispatches on
+``unit.kind`` through :data:`EXECUTORS`.  Besides the real
+``"solve_cell"`` kind there is a ``"probe"`` kind whose only purpose is
+fault injection in tests (raise, sleep, die); keeping it here means the
+runner's failure handling is exercised through exactly the same code
+path as production units.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import time
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "WorkUnit",
+    "EXECUTORS",
+    "execute_unit",
+    "comparison_units",
+    "canonical_json",
+    "units_hash",
+]
+
+
+def canonical_json(data: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independent, retryable piece of an experiment.
+
+    Attributes
+    ----------
+    kind:
+        Executor name (``"solve_cell"``, ``"probe"``); see
+        :data:`EXECUTORS`.
+    payload:
+        JSON-able spec of the work.  The unit's identity is the content
+        hash of ``(kind, payload)``, so two units with the same payload
+        are the same unit — a resumed run recognizes finished work by
+        this id.
+    label:
+        Human-readable tag for progress lines and journal rows; not part
+        of the identity.
+    """
+
+    kind: str
+    payload: Mapping[str, Any]
+    label: str = ""
+
+    @property
+    def unit_id(self) -> str:
+        """Stable content hash identifying this unit (16 hex chars)."""
+        doc = canonical_json({"kind": self.kind, "payload": dict(self.payload)})
+        return hashlib.sha256(doc.encode("utf-8")).hexdigest()[:16]
+
+    def as_doc(self) -> dict[str, Any]:
+        """Pickle/JSON-friendly form shipped to worker processes."""
+        return {"kind": self.kind, "payload": dict(self.payload), "label": self.label}
+
+
+def units_hash(units: Sequence[WorkUnit]) -> str:
+    """Order-insensitive hash of a unit set (stored in the run manifest)."""
+    ids = sorted(u.unit_id for u in units)
+    return hashlib.sha256(",".join(ids).encode("ascii")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# executors
+# ----------------------------------------------------------------------
+
+
+def _exec_solve_cell(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Run one registered solver on one platform configuration.
+
+    Returns an ``{"status", "result", "stats"}`` document; an
+    :class:`~repro.errors.InfeasibleError` is a normal outcome
+    (``status="infeasible"``), not a failure.
+    """
+    from repro.algorithms.registry import get_solver
+    from repro.engine import ThermalEngine
+    from repro.errors import InfeasibleError
+    from repro.platform import paper_platform
+    from repro.schedule.serialization import result_to_dict
+
+    platform = paper_platform(
+        int(payload["n_cores"]),
+        n_levels=int(payload["n_levels"]),
+        t_max_c=float(payload["t_max_c"]),
+        tau=float(payload.get("tau", 5e-6)),
+    )
+    engine = ThermalEngine(platform)
+    spec = get_solver(str(payload["algo"]))
+    params = dict(payload.get("params") or {})
+    mark = engine.checkpoint()
+    try:
+        result = spec.solve(engine, **params)
+    except InfeasibleError as exc:
+        return {
+            "status": "infeasible",
+            "result": None,
+            "stats": engine.stats_since(mark).as_dict(),
+            "detail": str(exc),
+        }
+    stats = result.stats if result.stats is not None else engine.stats_since(mark)
+    return {
+        "status": "ok",
+        "result": result_to_dict(result),
+        "stats": stats.as_dict(),
+    }
+
+
+def _exec_probe(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Fault-injection unit for runner tests.
+
+    ``behavior`` selects the failure mode:
+
+    * ``"ok"`` — succeed, echoing ``payload["value"]``;
+    * ``"sleep"`` — sleep ``payload["seconds"]`` then succeed (drive the
+      per-unit timeout);
+    * ``"raise"`` — raise ``RuntimeError`` (a unit that crashes cleanly);
+    * ``"kill"`` — SIGKILL the worker process (a unit that dies hard);
+    * ``"flaky"`` — fail until ``payload["marker"]`` exists (created on
+      the first attempt), then succeed — exercises bounded retry.
+    """
+    behavior = str(payload.get("behavior", "ok"))
+    if behavior == "sleep":
+        time.sleep(float(payload["seconds"]))
+    elif behavior == "raise":
+        raise RuntimeError(str(payload.get("message", "injected failure")))
+    elif behavior == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif behavior == "flaky":
+        marker = str(payload["marker"])
+        if not os.path.exists(marker):
+            with open(marker, "w", encoding="utf-8") as fh:
+                fh.write("attempted\n")
+            raise RuntimeError("flaky unit: first attempt fails")
+    elif behavior != "ok":
+        raise ValueError(f"unknown probe behavior {behavior!r}")
+    return {
+        "status": "ok",
+        "result": {"value": payload.get("value")},
+        "stats": None,
+    }
+
+
+#: Executor registry: ``unit.kind`` -> callable(payload) -> outcome doc.
+EXECUTORS: dict[str, Any] = {
+    "solve_cell": _exec_solve_cell,
+    "probe": _exec_probe,
+}
+
+
+def execute_unit(unit_doc: Mapping[str, Any]) -> dict[str, Any]:
+    """Run one unit document (the worker-process entry point)."""
+    kind = unit_doc["kind"]
+    try:
+        executor = EXECUTORS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown work-unit kind {kind!r}; known: {sorted(EXECUTORS)}"
+        ) from None
+    return executor(unit_doc["payload"])
+
+
+# ----------------------------------------------------------------------
+# unit builders
+# ----------------------------------------------------------------------
+
+
+def comparison_units(
+    core_counts: Sequence[int],
+    level_counts: Sequence[int],
+    t_max_values: Sequence[float],
+    approaches: Sequence[str],
+    common_params: Mapping[str, Any],
+    tau: float = 5e-6,
+) -> list[WorkUnit]:
+    """Decompose a comparison grid into one unit per ``(cell, algo)`` pair.
+
+    ``common_params`` is the shared solver parameter pool (period, m_cap,
+    ...); it is filtered per solver through the registry's declared
+    ``params`` whitelist *here*, so a unit's content hash only covers
+    parameters the solver actually consumes.
+    """
+    from repro.algorithms.registry import get_solver
+
+    units: list[WorkUnit] = []
+    for n in core_counts:
+        for lv in level_counts:
+            for tm in t_max_values:
+                for name in approaches:
+                    try:
+                        spec = get_solver(name)
+                    except KeyError as exc:
+                        raise ValueError(f"unknown approach {name!r}") from exc
+                    params = {
+                        k: v for k, v in common_params.items() if k in spec.params
+                    }
+                    payload = {
+                        "n_cores": int(n),
+                        "n_levels": int(lv),
+                        "t_max_c": float(tm),
+                        "tau": float(tau),
+                        "algo": spec.name,
+                        "params": params,
+                    }
+                    units.append(
+                        WorkUnit(
+                            kind="solve_cell",
+                            payload=payload,
+                            label=(
+                                f"{spec.name}@cores={n},levels={lv},"
+                                f"tmax={float(tm):g}"
+                            ),
+                        )
+                    )
+    return units

@@ -27,6 +27,7 @@ __all__ = [
     "schedule_to_json",
     "schedule_from_json",
     "result_to_dict",
+    "result_from_dict",
 ]
 
 FORMAT_VERSION = 1
@@ -131,4 +132,38 @@ def result_to_dict(result: SchedulerResult) -> dict[str, Any]:
         "runtime_s": result.runtime_s,
         "schedule": schedule_to_dict(result.schedule),
         "details": details,
+        "stats": result.stats.as_dict() if result.stats is not None else None,
     }
+
+
+def result_from_dict(data: dict[str, Any]) -> SchedulerResult:
+    """Rebuild a :class:`SchedulerResult` from its plain-dict form.
+
+    The inverse of :func:`result_to_dict` up to the lossy detail
+    conversion (arrays come back as lists, stringified leftovers stay
+    strings).  This is what lets the experiment runner journal finished
+    work units as JSON and reassemble them on ``--resume``.
+    """
+    if data.get("format") != "repro.result":
+        raise ScheduleError(f"not a repro result document: {data.get('format')!r}")
+    if data.get("version") != FORMAT_VERSION:
+        raise ScheduleError(
+            f"unsupported result format version {data.get('version')!r} "
+            f"(this library reads version {FORMAT_VERSION})"
+        )
+    from repro.engine import EngineStats
+
+    stats_doc = data.get("stats")
+    try:
+        return SchedulerResult(
+            name=str(data["name"]),
+            schedule=schedule_from_dict(data["schedule"]),
+            throughput=float(data["throughput"]),
+            peak_theta=float(data["peak_theta"]),
+            feasible=bool(data["feasible"]),
+            runtime_s=float(data.get("runtime_s", 0.0)),
+            details=dict(data.get("details") or {}),
+            stats=EngineStats.from_dict(stats_doc) if stats_doc else None,
+        )
+    except (KeyError, TypeError) as exc:
+        raise ScheduleError(f"malformed result document: {exc}") from exc

@@ -1,0 +1,145 @@
+"""Property-based theorem suite: schedules built from hypothesis-drawn data.
+
+Unlike :mod:`tests.test_theorems` (which drives the checks with seeded
+numpy generators), every schedule here is constructed *directly from
+drawn data* — hypothesis draws the period, the per-core segment weights
+and the voltage levels, and :func:`from_core_timelines` assembles them —
+so shrinking produces a minimal failing schedule rather than an opaque
+seed.
+
+Profiles: the suite loads the ``ci`` profile by default (derandomized,
+no deadline, few examples — safe for shared CI runners); set
+``HYPOTHESIS_PROFILE=dev`` for a wider randomized search locally.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.theorems import check_theorem1, check_theorem2, check_theorem5
+from repro.schedule.builders import from_core_timelines
+from repro.schedule.properties import is_step_up
+from repro.schedule.transforms import m_oscillate
+from repro.thermal.peak import stepup_peak_temperature
+
+settings.register_profile(
+    "ci", max_examples=15, deadline=None, derandomize=True, print_blob=True
+)
+settings.register_profile("dev", max_examples=60, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+
+#: The paper platform's discrete voltage ladder.
+LEVELS = (0.6, 0.8, 1.0, 1.2, 1.3)
+
+N_CORES = 3
+
+
+@st.composite
+def timelines(draw, n_cores=N_CORES, max_segments=3, step_up=False):
+    """Per-core ``(length, voltage)`` timelines over a common drawn period.
+
+    Segment lengths come from drawn integer weights (normalized to the
+    period), voltages from the paper's ladder; with ``step_up`` each
+    core's voltages are sorted non-decreasing, which makes the assembled
+    schedule step-up by construction.
+    """
+    period = draw(st.floats(0.01, 0.5))
+    cores = []
+    for _ in range(n_cores):
+        k = draw(st.integers(1, max_segments))
+        weights = draw(st.lists(st.integers(1, 9), min_size=k, max_size=k))
+        volts = draw(
+            st.lists(st.sampled_from(LEVELS), min_size=k, max_size=k)
+        )
+        if step_up:
+            volts = sorted(volts)
+        total = sum(weights)
+        cores.append(
+            [(period * w / total, v) for w, v in zip(weights, volts)]
+        )
+    return cores
+
+
+def build(cores):
+    return from_core_timelines(cores)
+
+
+class TestStrategy:
+    """The drawn data really produces the claimed schedule class."""
+
+    @given(cores=timelines(step_up=True))
+    def test_stepup_draws_are_stepup(self, cores):
+        assert is_step_up(build(cores))
+
+    @given(cores=timelines())
+    def test_period_is_preserved(self, cores):
+        sched = build(cores)
+        expected = sum(length for length, _ in cores[0])
+        assert sched.period == pytest.approx(expected, rel=1e-9)
+
+
+class TestTheorem1:
+    """Step-up schedules: the stable peak occurs at the period end."""
+
+    @given(cores=timelines(step_up=True))
+    def test_peak_at_period_end(self, model3_session, cores):
+        report = check_theorem1(model3_session, build(cores))
+        assert report.holds, (
+            f"peak anywhere {report.lhs} > period-end {report.rhs} + tol"
+        )
+
+    @given(cores=timelines(n_cores=2, step_up=True))
+    def test_peak_at_period_end_two_cores(self, model2_session, cores):
+        assert check_theorem1(model2_session, build(cores)).holds
+
+
+class TestTheorem2:
+    """step_up(S) upper-bounds the stable peak of any schedule S."""
+
+    @given(cores=timelines())
+    def test_stepup_reordering_is_upper_bound(self, model3_session, cores):
+        report = check_theorem2(model3_session, build(cores))
+        assert report.holds, (
+            f"peak(S) {report.lhs} > peak(step_up(S)) {report.rhs} + tol"
+        )
+
+    @given(cores=timelines(n_cores=2, max_segments=4))
+    def test_bound_on_two_cores(self, model2_session, cores):
+        assert check_theorem2(model2_session, build(cores)).holds
+
+
+class TestTheorem5:
+    """Oscillating a step-up schedule m-fold never raises the peak."""
+
+    @given(cores=timelines(step_up=True), m=st.integers(1, 6))
+    def test_m_plus_one_no_worse_than_m(self, model3_session, cores, m):
+        report = check_theorem5(model3_session, build(cores), m)
+        assert report.holds, (
+            f"peak(S({m + 1})) {report.lhs} > peak(S({m})) {report.rhs}"
+        )
+
+    @given(cores=timelines(step_up=True, max_segments=2))
+    def test_adjacent_m_chain_non_increasing(self, model3_session, cores):
+        sched = build(cores)
+        peaks = [
+            stepup_peak_temperature(
+                model3_session, m_oscillate(sched, m), check=False
+            ).value
+            for m in range(1, 7)
+        ]
+        assert np.all(np.diff(peaks) <= 1e-9), f"chain not monotone: {peaks}"
+
+
+# Hypothesis forbids reusing function-scoped fixtures across examples, so
+# the session models are aliased locally (same pattern as test_theorems).
+@pytest.fixture(scope="session")
+def model3_session(model3):
+    return model3
+
+
+@pytest.fixture(scope="session")
+def model2_session(model2):
+    return model2
