@@ -19,19 +19,29 @@ The package implements the paper's complete stack:
   PCO and the rest of the solver registry
   (:mod:`repro.algorithms.registry`),
 * :mod:`repro.analysis` — executable checks of Theorems 1-5,
-* :mod:`repro.experiments` — one callable per table/figure of the paper.
+* :mod:`repro.experiments` — one callable per table/figure of the paper,
+* :mod:`repro.obs` — zero-dependency observability (tracing spans,
+  metrics, the machinery behind ``repro run --trace`` / ``repro stats``).
 
 Quickstart::
 
-    from repro import paper_platform, ao
+    from repro import evaluate, load_platform, solve
 
-    platform = paper_platform(n_cores=3, n_levels=2, t_max_c=65.0)
-    result = ao(platform)
+    platform = load_platform(n_cores=3, n_levels=2, t_max_c=65.0)
+    result = solve("AO", platform)
     print(result.summary())
+    print(evaluate(platform, result.schedule).summary())
+
+**Frozen surface.** ``repro.__all__`` below is the supported public API:
+everything in it keeps its name and call signature within a major
+version (``tests/test_public_api.py`` snapshots both).  Symbols imported
+from submodules directly are internal and may move without notice.
 """
 
 from repro.platform import Platform, paper_platform, platform_3d
-from repro.engine import EngineStats, ThermalEngine
+from repro.api import EvaluationResult, evaluate, load_platform
+from repro.engine import EngineStats, ThermalEngine, engine_entrypoint
+from repro.obs import METRICS, capture_spans, span
 from repro.algorithms import (
     SOLVERS,
     SchedulerResult,
@@ -62,8 +72,15 @@ __all__ = [
     "Platform",
     "paper_platform",
     "platform_3d",
+    "load_platform",
+    "evaluate",
+    "EvaluationResult",
     "ThermalEngine",
     "EngineStats",
+    "engine_entrypoint",
+    "span",
+    "capture_spans",
+    "METRICS",
     "SchedulerResult",
     "SolverSpec",
     "SOLVERS",

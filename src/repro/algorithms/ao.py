@@ -35,7 +35,7 @@ from repro.algorithms.oscillation import (
     plan_modes,
 )
 from repro.algorithms.tpt import enforce_threshold, fill_headroom
-from repro.engine import ThermalEngine, as_platform
+from repro.engine import ThermalEngine, as_platform, engine_entrypoint
 from repro.platform import Platform
 from repro.schedule.builders import constant_schedule
 from repro.schedule.periodic import PeriodicSchedule
@@ -148,8 +148,9 @@ def constant_floor_guard(
     return floor_sched, floor_peak, floor_throughput, floor_volts
 
 
+@engine_entrypoint("AO")
 def ao(
-    platform: Platform | ThermalEngine,
+    engine: ThermalEngine,
     period: float = 0.02,
     m_cap: int = DEFAULT_M_CAP,
     m_step: int = 1,
@@ -179,11 +180,10 @@ def ao(
         power-gated (dark silicon — see
         :func:`repro.algorithms.dark.dark_silicon_ao`).
     """
-    engine = ThermalEngine.ensure(platform)
     platform = engine.platform
     mark = engine.checkpoint()
     t0 = time.perf_counter()
-    with engine.phase("continuous"):
+    with engine.phase("ao/continuous"):
         cont = continuous_assignment(platform, active_mask=active_mask)
         plan = plan_modes(platform, cont.voltages)
 
@@ -203,13 +203,13 @@ def ao(
         tpt_iters = 0
         details["m_history"] = [(1, peak.value)]
     else:
-        with engine.phase("choose_m"):
+        with engine.phase("ao/choose_m"):
             m_opt, sched, history = choose_m(
                 engine, plan, period, m_cap=m_cap, m_step=m_step
             )
         details["m_history"] = history
         ratios = adjusted_high_ratios(platform, plan, m_opt, period)
-        with engine.phase("tpt"):
+        with engine.phase("ao/tpt"):
             ratios, sched, peak, tpt_iters = enforce_threshold(
                 engine, plan, ratios, period, m_opt,
                 t_unit=t_unit, adaptive=adaptive,
@@ -217,7 +217,7 @@ def ao(
 
     fill_iters = 0
     if fill and peak.value < platform.theta_max - 1e-6 and plan.oscillating.any():
-        with engine.phase("fill"):
+        with engine.phase("ao/fill"):
             ratios, sched, peak, fill_iters = fill_headroom(
                 engine, plan, ratios, period, m_opt,
                 t_unit=t_unit, adaptive=adaptive,
@@ -227,7 +227,7 @@ def ao(
     # path's grid scan can under-resolve a wrap-continuation hump by a few
     # hundredths of a Kelvin.  If the refined peak tops T_max, run one more
     # TPT pass priced with the exact engine.
-    with engine.phase("verify"):
+    with engine.phase("ao/verify"):
         exact = engine.general_peak(sched, grid_per_interval=96)
         if exact.value > platform.theta_max + 1e-6 and plan.oscillating.any():
             exact_fn, exact_batch_fn = engine.peak_fns(
@@ -245,7 +245,7 @@ def ao(
     # marginally below the best feasible constant assignment, in which
     # case the lower-neighbor floor wins and we emit it instead.
     throughput = float(effective_throughput(sched, platform))
-    with engine.phase("floor_guard"):
+    with engine.phase("ao/floor_guard"):
         sched, peak_value, throughput, floor_volts = constant_floor_guard(
             platform, plan, period, sched, peak_value, throughput
         )

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.algorithms.ao import ao
 from repro.algorithms.base import SchedulerResult
-from repro.engine import ThermalEngine
+from repro.engine import ThermalEngine, engine_entrypoint
 from repro.errors import InfeasibleError, SolverError
 from repro.platform import Platform
 
@@ -38,8 +38,9 @@ def _thermal_quality_order(platform: Platform) -> np.ndarray:
     return np.argsort(-self_heating)
 
 
+@engine_entrypoint("dark")
 def dark_silicon_ao(
-    platform: Platform | ThermalEngine,
+    engine: ThermalEngine,
     max_dark: int | None = None,
     explore_extra: int = 1,
     **ao_kwargs,
@@ -48,8 +49,8 @@ def dark_silicon_ao(
 
     Parameters
     ----------
-    platform:
-        The target platform.
+    engine:
+        The target platform (or its :class:`ThermalEngine`).
     max_dark:
         Maximum number of cores allowed to go dark
         (default: ``n_cores - 1``).
@@ -66,7 +67,6 @@ def dark_silicon_ao(
     InfeasibleError
         If no active set (down to a single core) is feasible.
     """
-    engine = ThermalEngine.ensure(platform)
     platform = engine.platform
     mark = engine.checkpoint()
     t0 = time.perf_counter()

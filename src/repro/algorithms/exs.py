@@ -23,9 +23,8 @@ import time
 import numpy as np
 
 from repro.algorithms.base import SchedulerResult
-from repro.engine import EngineStats, ThermalEngine
+from repro.engine import EngineStats, ThermalEngine, engine_entrypoint
 from repro.errors import InfeasibleError
-from repro.platform import Platform
 from repro.schedule.builders import constant_schedule
 
 __all__ = ["exs", "exs_pruned"]
@@ -49,7 +48,8 @@ def _result(voltages: np.ndarray, peak: float, elapsed: float,
     )
 
 
-def exs(platform: Platform | ThermalEngine) -> SchedulerResult:
+@engine_entrypoint("EXS")
+def exs(engine: ThermalEngine) -> SchedulerResult:
     """The paper's Algorithm 1 (vectorized full enumeration).
 
     Raises
@@ -57,7 +57,6 @@ def exs(platform: Platform | ThermalEngine) -> SchedulerResult:
     InfeasibleError
         If not even the all-lowest assignment fits under ``T_max``.
     """
-    engine = ThermalEngine.ensure(platform)
     mark = engine.checkpoint()
     t0 = time.perf_counter()
     levels = np.asarray(engine.ladder.levels)
@@ -100,7 +99,8 @@ def exs(platform: Platform | ThermalEngine) -> SchedulerResult:
     )
 
 
-def exs_pruned(platform: Platform | ThermalEngine) -> SchedulerResult:
+@engine_entrypoint("EXS-pruned")
+def exs_pruned(engine: ThermalEngine) -> SchedulerResult:
     """Monotonicity-pruned exact search (same answer as :func:`exs`).
 
     DFS over cores assigns levels from high to low.  Two prunes:
@@ -111,7 +111,6 @@ def exs_pruned(platform: Platform | ThermalEngine) -> SchedulerResult:
     * *bound*: if the partial sum plus ``v_max`` for every unassigned core
       cannot beat the incumbent, the subtree is skipped.
     """
-    engine = ThermalEngine.ensure(platform)
     mark = engine.checkpoint()
     t0 = time.perf_counter()
     levels = sorted(engine.ladder.levels, reverse=True)

@@ -14,26 +14,25 @@ import numpy as np
 
 from repro.algorithms.base import SchedulerResult
 from repro.algorithms.continuous import continuous_assignment
-from repro.engine import ThermalEngine
-from repro.platform import Platform
+from repro.engine import ThermalEngine, engine_entrypoint
 from repro.schedule.builders import constant_schedule
 
 __all__ = ["lns"]
 
 
-def lns(platform: Platform | ThermalEngine, period: float = 0.02) -> SchedulerResult:
+@engine_entrypoint("LNS")
+def lns(engine: ThermalEngine, period: float = 0.02) -> SchedulerResult:
     """Run the LNS baseline.
 
     Parameters
     ----------
-    platform:
-        The target platform.
+    engine:
+        The target platform (or its :class:`ThermalEngine`).
     period:
         Nominal period of the emitted (constant) schedule — it only labels
         the schedule object; a constant schedule's behaviour is
         period-independent.
     """
-    engine = ThermalEngine.ensure(platform)
     mark = engine.checkpoint()
     t0 = time.perf_counter()
     cont = continuous_assignment(engine.platform)

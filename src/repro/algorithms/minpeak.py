@@ -23,9 +23,8 @@ from repro.algorithms.oscillation import (
     choose_m,
     plan_modes,
 )
-from repro.engine import ThermalEngine
+from repro.engine import ThermalEngine, engine_entrypoint
 from repro.errors import SolverError
-from repro.platform import Platform
 from repro.schedule.periodic import PeriodicSchedule
 from repro.thermal.peak import PeakResult
 
@@ -71,8 +70,9 @@ class MinPeakResult:
         )
 
 
+@engine_entrypoint()
 def minimize_peak(
-    platform: Platform | ThermalEngine,
+    engine: ThermalEngine,
     target_speeds,
     period: float = 0.02,
     m_cap: int = DEFAULT_M_CAP,
@@ -82,10 +82,10 @@ def minimize_peak(
 
     Parameters
     ----------
-    platform:
-        The platform (its ``t_max_c`` is *not* enforced here — this is the
-        unconstrained dual; callers compare ``result.peak`` against their
-        own threshold).
+    engine:
+        The platform or its engine (``t_max_c`` is *not* enforced here —
+        this is the unconstrained dual; callers compare ``result.peak``
+        against their own threshold).
     target_speeds:
         Per-core average speeds (voltages) to sustain, each within the
         supported continuous range.
@@ -99,7 +99,6 @@ def minimize_peak(
     SolverError
         If a target speed lies outside the platform's speed range.
     """
-    engine = ThermalEngine.ensure(platform)
     platform = engine.platform
     t0 = time.perf_counter()
     targets = np.atleast_1d(np.asarray(target_speeds, dtype=float))

@@ -27,15 +27,15 @@ from repro.algorithms.oscillation import (
     plan_modes,
 )
 from repro.algorithms.tpt import fill_headroom
-from repro.engine import ThermalEngine
-from repro.platform import Platform
+from repro.engine import ThermalEngine, engine_entrypoint
 from repro.schedule.transforms import shift_core
 
 __all__ = ["pco"]
 
 
+@engine_entrypoint("PCO")
 def pco(
-    platform: Platform | ThermalEngine,
+    engine: ThermalEngine,
     period: float = 0.02,
     m_cap: int = DEFAULT_M_CAP,
     m_step: int = 1,
@@ -52,7 +52,6 @@ def pco(
         oscillation cycle).
     Other parameters are forwarded to :func:`repro.algorithms.ao.ao`.
     """
-    engine = ThermalEngine.ensure(platform)
     platform = engine.platform
     mark = engine.checkpoint()
     t0 = time.perf_counter()
@@ -79,7 +78,7 @@ def pco(
     peak = general_peak(sched)
     shifts = [0.0] * platform.n_cores
     candidates = [k * cycle / shift_grid for k in range(shift_grid)]
-    with engine.phase("phase_search"):
+    with engine.phase("pco/phase_search"):
         for core in range(platform.n_cores):
             best_off, best_val = 0.0, peak.value
             trials = [shift_core(sched, core, off) for off in candidates[1:]]
@@ -95,7 +94,7 @@ def pco(
     # general peak engine, with the shifts re-applied on every rebuild).
     fill_iters = 0
     if peak.value < platform.theta_max - 1e-6 and plan.oscillating.any():
-        with engine.phase("fill"):
+        with engine.phase("pco/fill"):
             ratios, sched, peak, fill_iters = fill_headroom(
                 engine, plan, ratios, period, m_opt,
                 t_unit=t_unit, peak_fn=general_peak,
@@ -107,7 +106,7 @@ def pco(
     peak_value = float(peak.value)
     # Same AO >= EXS safety net as ao(): never lose to the best constant
     # assignment reachable from the lower-neighbor floor.
-    with engine.phase("floor_guard"):
+    with engine.phase("pco/floor_guard"):
         sched, peak_value, throughput, floor_volts = constant_floor_guard(
             platform, plan, period, sched, peak_value, throughput
         )

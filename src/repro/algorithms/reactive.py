@@ -21,9 +21,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.algorithms.base import SchedulerResult
-from repro.engine import ThermalEngine
+from repro.engine import ThermalEngine, engine_entrypoint
 from repro.errors import SolverError
-from repro.platform import Platform
 from repro.schedule.intervals import StateInterval
 from repro.schedule.periodic import PeriodicSchedule
 
@@ -53,8 +52,9 @@ class ReactiveTrace:
     peak_theta: float
 
 
+@engine_entrypoint("reactive")
 def reactive_throttling(
-    platform: Platform | ThermalEngine,
+    engine: ThermalEngine,
     sensor_period: float = 1e-3,
     guard_band: float = 0.0,
     horizon: float | None = None,
@@ -93,7 +93,6 @@ def reactive_throttling(
     """
     if sensor_period <= 0:
         raise SolverError(f"sensor_period must be > 0, got {sensor_period}")
-    engine = ThermalEngine.ensure(platform)
     mark = engine.checkpoint()
     model = engine.model
     ladder = engine.ladder

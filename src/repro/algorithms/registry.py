@@ -36,7 +36,7 @@ from repro.algorithms.lns import lns
 from repro.algorithms.minpeak import minimize_peak
 from repro.algorithms.pco import pco
 from repro.algorithms.reactive import reactive_throttling
-from repro.engine import ThermalEngine
+from repro.engine import ThermalEngine, engine_entrypoint
 from repro.errors import SolverError
 from repro.platform import Platform
 from repro.schedule.builders import constant_schedule
@@ -44,8 +44,9 @@ from repro.schedule.builders import constant_schedule
 __all__ = ["SolverSpec", "SOLVERS", "get_solver", "solve"]
 
 
+@engine_entrypoint("continuous")
 def _solve_continuous(
-    platform: Platform | ThermalEngine, period: float = 0.02
+    engine: ThermalEngine, period: float = 0.02
 ) -> SchedulerResult:
     """The ideal continuous relaxation, wrapped as a ``SchedulerResult``.
 
@@ -53,7 +54,6 @@ def _solve_continuous(
     continuous voltages — the upper bound AO chases, not something
     discrete hardware can run.
     """
-    engine = ThermalEngine.ensure(platform)
     mark = engine.checkpoint()
     t0 = time.perf_counter()
     cont = continuous_assignment(engine.platform)
@@ -71,8 +71,9 @@ def _solve_continuous(
     )
 
 
+@engine_entrypoint("minpeak")
 def _solve_minpeak(
-    platform: Platform | ThermalEngine,
+    engine: ThermalEngine,
     target_speeds=None,
     period: float = 0.02,
     m_cap: int | None = None,
@@ -85,7 +86,6 @@ def _solve_minpeak(
     would try to schedule.  ``feasible`` compares the minimized peak
     against the platform threshold — the dual itself does not enforce it.
     """
-    engine = ThermalEngine.ensure(platform)
     mark = engine.checkpoint()
     t0 = time.perf_counter()
     if target_speeds is None:

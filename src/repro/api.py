@@ -1,0 +1,124 @@
+"""Top-level convenience entry points of the frozen public surface.
+
+Three verbs cover the common workflow without touching any submodule:
+
+* :func:`load_platform` — build the calibrated paper platform
+  (a thin veneer over :func:`repro.platform.paper_platform` that also
+  accepts a spec dict, the shape journal rows and manifests use);
+* :func:`repro.algorithms.registry.solve` — run a registered scheduler
+  (re-exported at the package root);
+* :func:`evaluate` — independently price an arbitrary schedule on a
+  platform: stable-status peak, feasibility, throughput, as a typed
+  :class:`EvaluationResult`.
+
+These, together with ``repro.__all__``, form the supported API; the
+snapshot test in ``tests/test_public_api.py`` pins both so the surface
+cannot drift silently.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine import ThermalEngine
+from repro.platform import Platform, paper_platform
+from repro.schedule.periodic import PeriodicSchedule
+from repro.schedule.properties import throughput as schedule_throughput
+
+__all__ = ["load_platform", "EvaluationResult", "evaluate"]
+
+
+def load_platform(
+    spec: Mapping[str, Any] | None = None, **overrides: Any
+) -> Platform:
+    """Build the calibrated paper platform from a spec dict and/or kwargs.
+
+    ``spec`` takes the same keys as
+    :func:`repro.platform.paper_platform` (``n_cores``, ``n_levels``,
+    ``t_max_c``, ``t_ambient_c``, ``tau``, ``topology``, ...); explicit
+    keyword ``overrides`` win over ``spec`` entries.  ``n_cores``
+    defaults to 3 — the paper's reference configuration — so
+    ``load_platform()`` alone yields a usable platform.
+
+    Unknown keys are rejected by ``paper_platform`` itself, so a journal
+    row's ``payload`` can be splatted in directly only after filtering —
+    use ``{k: row[k] for k in ("n_cores", "n_levels", "t_max_c", "tau")}``.
+    """
+    kwargs: dict[str, Any] = dict(spec or {})
+    kwargs.update(overrides)
+    kwargs.setdefault("n_cores", 3)
+    return paper_platform(**kwargs)
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Independent pricing of one schedule on one platform.
+
+    Attributes
+    ----------
+    peak_theta:
+        Stable-status peak core temperature, in K above ambient.
+    theta_max:
+        The platform's threshold in the same units.
+    feasible:
+        ``peak_theta <= theta_max`` (small tolerance).
+    throughput:
+        Chip-wide mean speed per core over the period (eq. 5).
+    t_ambient_c:
+        Ambient in Celsius — the offset :meth:`peak_celsius` adds back.
+    """
+
+    peak_theta: float
+    theta_max: float
+    feasible: bool
+    throughput: float
+    t_ambient_c: float
+
+    def peak_celsius(self) -> float:
+        """The peak as an absolute temperature in Celsius."""
+        return self.peak_theta + self.t_ambient_c
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        verdict = "feasible" if self.feasible else "INFEASIBLE"
+        return (
+            f"peak {self.peak_theta:.2f} K above ambient "
+            f"({self.peak_celsius():.1f} C) vs limit {self.theta_max:.2f} K "
+            f"— {verdict}; throughput {self.throughput:.4f}"
+        )
+
+
+def evaluate(
+    platform: Platform | ThermalEngine,
+    schedule: PeriodicSchedule,
+    general: bool = True,
+    grid_per_interval: int | None = None,
+) -> EvaluationResult:
+    """Price a schedule: stable peak, feasibility, throughput.
+
+    This is the independent check a solver's claimed ``peak_theta`` can
+    be audited against.  ``general=True`` (default) uses the MatEx-style
+    search valid for arbitrary schedules (with the Theorem-1 fast path
+    when the schedule happens to be step-up); ``general=False`` insists
+    on the Theorem-1 step-up engine and raises for non-step-up
+    schedules.  ``grid_per_interval`` tunes the general search's
+    within-interval sampling density.
+    """
+    engine = ThermalEngine.ensure(platform)
+    if general:
+        kwargs: dict[str, Any] = {}
+        if grid_per_interval is not None:
+            kwargs["grid_per_interval"] = int(grid_per_interval)
+        peak = engine.general_peak(schedule, **kwargs)
+    else:
+        peak = engine.stepup_peak(schedule, check=True)
+    theta_max = engine.theta_max
+    return EvaluationResult(
+        peak_theta=float(peak.value),
+        theta_max=float(theta_max),
+        feasible=bool(peak.value <= theta_max + 1e-9),
+        throughput=float(schedule_throughput(schedule)),
+        t_ambient_c=float(engine.model.t_ambient_c),
+    )

@@ -3,17 +3,30 @@
 ::
 
     repro run <experiment> [--quick] [-o key=value] [--csv PATH]
+                           [--trace PATH]
                            [--parallel] [--workers N] [--timeout S]
                            [--retries N] [--run-dir DIR | --resume DIR]
-    repro solve <solver> [-o key=value]
+    repro solve <solver> [-o key=value] [--trace PATH]
+    repro stats <run-dir>
     repro list
+    repro legacy <experiment> ...   (deprecated alias for `run`)
 
 ``repro run`` regenerates a table/figure of the paper; ``repro solve``
 runs one registered scheduler on a freshly built paper platform and
 prints its result plus the thermal-engine instrumentation; ``repro
-list`` enumerates both registries.  The historical single-positional
-form (``repro fig6 --quick``) still works — a bare experiment id is
-rewritten to ``run <id>``.
+stats`` summarizes a journaled run directory (unit statuses, run-level
+engine counters, per-span wall-time table); ``repro list`` enumerates
+both registries.  The historical single-positional form
+(``repro fig6 --quick``) is retired: a bare experiment id is now an
+error, and ``repro legacy fig6 --quick`` keeps the old spelling alive
+one release longer behind an explicit :class:`DeprecationWarning`.
+
+``--trace PATH`` streams observability spans (:mod:`repro.obs`) as JSON
+Lines: every traced region of the process (experiment, runner, solver
+phases) plus — for journaled sweeps — the per-unit span trees recovered
+from the journal rows, each tagged with its ``unit_id``.  The per-unit
+spans are captured inside the workers and travel in the journal, so the
+trace reconciles with ``repro stats`` even across ``--resume``.
 
 Grid experiments (``comparison``, ``fig6``, ``fig7``, ``table5``,
 ``headline``) execute through the fault-tolerant sharded runner: with
@@ -34,6 +47,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import warnings
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 
@@ -129,6 +143,43 @@ def _collect_reports(result) -> list:
     return [g.report for g in grids if getattr(g, "report", None) is not None]
 
 
+def _open_trace(path: str):
+    """Attach a JSONL trace sink to the process tracer (enables tracing)."""
+    from repro.obs import TRACER, JsonlSink
+
+    sink = JsonlSink(path)
+    TRACER.add_sink(sink)
+    return sink
+
+
+def _close_trace(sink, reports=()) -> int:
+    """Detach the sink, splice journaled per-unit spans, snapshot metrics.
+
+    Per-unit spans are captured in isolation inside the workers and travel
+    in the journal rows, so this is the single place they reach the trace
+    file — tagged with their ``unit_id`` (their span ids are local to the
+    emitting unit).  Returns the number of spliced per-unit spans.
+    """
+    from repro.obs import METRICS, TRACER
+
+    TRACER.remove_sink(sink)
+    n_unit_spans = 0
+    for report in reports:
+        for row in report.records.values():
+            for doc in row.get("spans") or ():
+                sink.write_doc(
+                    dict(
+                        doc,
+                        unit_id=row.get("unit_id"),
+                        unit_label=row.get("label"),
+                    )
+                )
+                n_unit_spans += 1
+    sink.write_doc({"metrics": METRICS.snapshot()})
+    sink.close()
+    return n_unit_spans
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.experiment not in EXPERIMENTS:
         print(
@@ -158,7 +209,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         kwargs.update(_runner_kwargs(args))
 
     t0 = time.perf_counter()
-    result = run_experiment(args.experiment, quick=args.quick, **kwargs)
+    trace_sink = _open_trace(args.trace) if args.trace else None
+    try:
+        result = run_experiment(args.experiment, quick=args.quick, **kwargs)
+    except BaseException:
+        if trace_sink is not None:
+            _close_trace(trace_sink)
+        raise
     elapsed = time.perf_counter() - t0
 
     if hasattr(result, "format"):
@@ -182,6 +239,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     reports = _collect_reports(result)
     for report in reports:
         print(report.summary())
+
+    if trace_sink is not None:
+        n_unit_spans = _close_trace(trace_sink, reports)
+        print(f"[trace written to {args.trace} ({n_unit_spans} per-unit spans)]")
 
     print(f"\n[{args.experiment} finished in {elapsed:.1f} s]")
     if any(report.failures for report in reports):
@@ -216,16 +277,50 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
     platform = paper_platform(**platform_kwargs)
     engine = ThermalEngine(platform)
+    trace_sink = _open_trace(args.trace) if args.trace else None
     try:
         result = spec.solve(engine, **options)
     except Exception as exc:  # surface solver errors as a clean exit code
         print(f"{spec.name} failed: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if trace_sink is not None:
+            _close_trace(trace_sink)
 
     print(result.summary())
     stats = result.stats if result.stats is not None else engine.stats()
     print(stats.format())
+    if trace_sink is not None:
+        print(f"[trace written to {args.trace}]")
     return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.errors import RunnerError
+    from repro.obs import run_dir_summary
+
+    try:
+        summary = run_dir_summary(args.run_dir)
+    except RunnerError as exc:
+        print(f"stats: {exc}", file=sys.stderr)
+        return 2
+    print(summary.format())
+    return 0
+
+
+def _cmd_legacy(args: argparse.Namespace) -> int:
+    warnings.warn(
+        "the bare `repro <experiment>` form is deprecated; "
+        "use `repro run <experiment>`",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    print(
+        "[deprecated: `repro legacy` is an alias for `repro run` and will "
+        "be removed; switch to `repro run`]",
+        file=sys.stderr,
+    )
+    return _cmd_run(args)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -240,59 +335,77 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command")
 
+    def add_run_arguments(p_run: argparse.ArgumentParser) -> None:
+        p_run.add_argument("experiment", help="experiment id (see 'repro list')")
+        p_run.add_argument(
+            "--quick",
+            action="store_true",
+            help="run a scale-reduced version (seconds instead of minutes)",
+        )
+        _add_option_argument(p_run, "experiment")
+        p_run.add_argument(
+            "--csv",
+            metavar="PATH",
+            help=(
+                "additionally write the result grid as CSV "
+                "(experiments exposing a grid only)"
+            ),
+        )
+        p_run.add_argument(
+            "--trace",
+            metavar="PATH",
+            help=(
+                "stream observability spans to PATH as JSON Lines "
+                "(includes per-unit spans recovered from the journal)"
+            ),
+        )
+        runner_group = p_run.add_argument_group(
+            "sharded runner (grid experiments only)"
+        )
+        runner_group.add_argument(
+            "--parallel",
+            action="store_true",
+            help="fan work units out over worker processes",
+        )
+        runner_group.add_argument(
+            "--workers",
+            type=int,
+            metavar="N",
+            help="worker process count (implies --parallel; default: CPU count)",
+        )
+        runner_group.add_argument(
+            "--timeout",
+            type=float,
+            metavar="S",
+            help="per-unit wall-clock deadline in seconds (parallel mode)",
+        )
+        runner_group.add_argument(
+            "--retries",
+            type=int,
+            metavar="N",
+            help="retries per failed unit before its error row is final (default 1)",
+        )
+        runner_group.add_argument(
+            "--run-dir",
+            metavar="DIR",
+            help="journal finished units into DIR (enables later --resume)",
+        )
+        runner_group.add_argument(
+            "--resume",
+            metavar="DIR",
+            help="continue an interrupted run from DIR, re-running only missing units",
+        )
+
     p_run = sub.add_parser("run", help="regenerate one table/figure of the paper")
-    p_run.add_argument("experiment", help="experiment id (see 'repro list')")
-    p_run.add_argument(
-        "--quick",
-        action="store_true",
-        help="run a scale-reduced version (seconds instead of minutes)",
-    )
-    _add_option_argument(p_run, "experiment")
-    p_run.add_argument(
-        "--csv",
-        metavar="PATH",
-        help=(
-            "additionally write the result grid as CSV "
-            "(experiments exposing a grid only)"
-        ),
-    )
-    runner_group = p_run.add_argument_group(
-        "sharded runner (grid experiments only)"
-    )
-    runner_group.add_argument(
-        "--parallel",
-        action="store_true",
-        help="fan work units out over worker processes",
-    )
-    runner_group.add_argument(
-        "--workers",
-        type=int,
-        metavar="N",
-        help="worker process count (implies --parallel; default: CPU count)",
-    )
-    runner_group.add_argument(
-        "--timeout",
-        type=float,
-        metavar="S",
-        help="per-unit wall-clock deadline in seconds (parallel mode)",
-    )
-    runner_group.add_argument(
-        "--retries",
-        type=int,
-        metavar="N",
-        help="retries per failed unit before its error row is final (default 1)",
-    )
-    runner_group.add_argument(
-        "--run-dir",
-        metavar="DIR",
-        help="journal finished units into DIR (enables later --resume)",
-    )
-    runner_group.add_argument(
-        "--resume",
-        metavar="DIR",
-        help="continue an interrupted run from DIR, re-running only missing units",
-    )
+    add_run_arguments(p_run)
     p_run.set_defaults(func=_cmd_run)
+
+    p_legacy = sub.add_parser(
+        "legacy",
+        help="deprecated alias for 'run' (the historical bare-experiment form)",
+    )
+    add_run_arguments(p_legacy)
+    p_legacy.set_defaults(func=_cmd_legacy)
 
     p_solve = sub.add_parser(
         "solve", help="run one registered scheduler on a paper platform"
@@ -304,17 +417,23 @@ def main(argv: list[str] | None = None) -> int:
         help="apply the solver's scale-reduced preset",
     )
     _add_option_argument(p_solve, "solver or platform")
+    p_solve.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="stream the solver's observability spans to PATH as JSON Lines",
+    )
     p_solve.set_defaults(func=_cmd_solve)
+
+    p_stats = sub.add_parser(
+        "stats", help="summarize a journaled run directory (spans + counters)"
+    )
+    p_stats.add_argument("run_dir", help="run directory (the --run-dir of a sweep)")
+    p_stats.set_defaults(func=_cmd_stats)
 
     p_list = sub.add_parser("list", help="enumerate experiments and solvers")
     p_list.set_defaults(func=_cmd_list)
 
     argv = list(sys.argv[1:] if argv is None else argv)
-    # Legacy form: `repro fig6 --quick` == `repro run fig6 --quick`
-    # (and the historical bare `repro list` is the list subcommand).
-    if argv and argv[0] not in ("run", "solve", "list", "-h", "--help"):
-        argv.insert(0, "run")
-
     args = parser.parse_args(argv)
     if getattr(args, "func", None) is None:
         parser.print_help()

@@ -12,16 +12,25 @@ solves, cache hit rates, expm applications, batch sizes, and per-phase
 wall time — so every :class:`~repro.algorithms.base.SchedulerResult` can
 report how much thermal work it cost (its ``stats`` field).
 
-Solvers accept either a ``Platform`` or a ``ThermalEngine``;
-:meth:`ThermalEngine.ensure` normalizes.  Passing one engine across
+Solver bodies take a ``ThermalEngine`` directly; the
+:func:`engine_entrypoint` decorator is the single coercion point that
+still lets callers pass a bare ``Platform``
+(:meth:`ThermalEngine.ensure` normalizes).  Passing one engine across
 several solver runs (as :func:`repro.experiments.comparison.run_cell`
 does) shares the model's caches between them, and
 :meth:`ThermalEngine.checkpoint` / :meth:`ThermalEngine.stats_since`
 attribute the counters to each run separately.
+
+Instrumentation is layered on :mod:`repro.obs`: :meth:`ThermalEngine.phase`
+opens a tracing span per named solver phase (and keeps feeding the
+``phase_seconds`` counters of :class:`EngineStats` for backward
+compatibility), and :func:`engine_entrypoint` wraps every solver run in
+a ``solve/<name>`` root span carrying the run's thermal-work attributes.
 """
 
 from __future__ import annotations
 
+import functools
 import time
 from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
 from contextlib import contextmanager
@@ -30,6 +39,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.obs import METRICS, TRACER, span as obs_span
 from repro.platform import Platform
 from repro.schedule.periodic import PeriodicSchedule
 from repro.thermal.batch import (
@@ -40,7 +50,14 @@ from repro.thermal.batch import (
 from repro.thermal.model import ThermalModel
 from repro.thermal.peak import PeakResult, peak_temperature, stepup_peak_temperature
 
-__all__ = ["EngineStats", "PeakBatchFn", "PeakFn", "ThermalEngine", "as_platform"]
+__all__ = [
+    "EngineStats",
+    "PeakBatchFn",
+    "PeakFn",
+    "ThermalEngine",
+    "as_platform",
+    "engine_entrypoint",
+]
 
 PeakFn = Callable[[PeriodicSchedule], PeakResult]
 PeakBatchFn = Callable[[Sequence[PeriodicSchedule]], "list[PeakResult]"]
@@ -51,6 +68,51 @@ def as_platform(platform_or_engine: "Platform | ThermalEngine") -> Platform:
     if isinstance(platform_or_engine, ThermalEngine):
         return platform_or_engine.platform
     return platform_or_engine
+
+
+def engine_entrypoint(name: str | None = None):
+    """Decorate a solver so its body receives a :class:`ThermalEngine`.
+
+    The decorated function keeps the public ``Platform | ThermalEngine``
+    first argument — this is the one place the coercion happens, so
+    solver bodies no longer repeat ``ThermalEngine.ensure`` (or
+    isinstance checks) themselves.
+
+    With a ``name``, the run is additionally wrapped in a
+    ``solve/<name>`` tracing span whose attributes carry the run's
+    thermal-work counters (steady-state solves, cache hit rate, expm
+    applications, batch shape).  While tracing is disabled the wrapper
+    costs one attribute check beyond the coercion.
+    """
+
+    def decorate(func: Callable) -> Callable:
+        @functools.wraps(func)
+        def wrapper(platform: "Platform | ThermalEngine", *args, **kwargs):
+            engine = ThermalEngine.ensure(platform)
+            if name is None or not TRACER.enabled:
+                return func(engine, *args, **kwargs)
+            mark = engine.checkpoint()
+            with obs_span(f"solve/{name}") as sp:
+                try:
+                    return func(engine, *args, **kwargs)
+                finally:
+                    st = engine.stats_since(mark)
+                    sp.set_attrs(
+                        solver=name,
+                        ss_solves=st.steady_state_solves,
+                        ss_cache_hits=st.steady_state_cache_hits,
+                        ss_batch_rows=st.steady_state_batch_rows,
+                        cache_hit_rate=round(st.cache_hit_rate, 4),
+                        expm_applications=st.expm_applications,
+                        peak_evals=st.peak_evals,
+                        batch_calls=st.batch_calls,
+                        batch_candidates=st.batch_candidates,
+                        max_batch=st.max_batch,
+                    )
+
+        return wrapper
+
+    return decorate
 
 
 @dataclass(frozen=True)
@@ -129,7 +191,7 @@ class EngineStats:
             total = sum(self.phase_seconds.values())
             lines.append(f"  phases ({total * 1e3:.1f} ms total):")
             for name, secs in self.phase_seconds.items():
-                lines.append(f"    {name:<14s} {secs * 1e3:8.1f} ms")
+                lines.append(f"    {name:<18s} {secs * 1e3:8.1f} ms")
         return "\n".join(lines)
 
     def as_dict(self) -> dict[str, Any]:
@@ -217,6 +279,7 @@ class ThermalEngine:
         self._batch_candidates = 0
         self._max_batch = 0
         self._phase_seconds: dict[str, float] = {}
+        self._batch_histogram = METRICS.histogram("engine.batch_size")
         self._baseline = self.checkpoint()
 
     @classmethod
@@ -299,6 +362,7 @@ class ThermalEngine:
         self._batch_candidates += k
         if k > self._max_batch:
             self._max_batch = k
+        self._batch_histogram.observe(k)
 
     def stepup_peak_batch(self, schedules, check: bool = False,
                           **kwargs) -> list[PeakResult]:
@@ -384,13 +448,22 @@ class ThermalEngine:
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        """Accumulate the wall time of one named solver phase."""
-        t0 = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - t0
-            self._phase_seconds[name] = self._phase_seconds.get(name, 0.0) + elapsed
+        """Trace one named solver phase (``"ao/choose_m"``, ...).
+
+        Opens an :func:`repro.obs.span` of the same name (a no-op while
+        tracing is disabled) and accumulates the wall time into the
+        ``phase_seconds`` counter of :class:`EngineStats`, so existing
+        ``stats_since`` consumers see exactly what they always did.
+        """
+        with obs_span(name):
+            t0 = time.perf_counter()
+            try:
+                yield
+            finally:
+                elapsed = time.perf_counter() - t0
+                self._phase_seconds[name] = (
+                    self._phase_seconds.get(name, 0.0) + elapsed
+                )
 
     def checkpoint(self) -> dict[str, Any]:
         """Snapshot of the raw counter totals (pass to :meth:`stats_since`)."""

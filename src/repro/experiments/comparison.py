@@ -27,6 +27,7 @@ from repro.algorithms.base import SchedulerResult
 from repro.algorithms.registry import get_solver
 from repro.engine import ThermalEngine
 from repro.errors import InfeasibleError
+from repro.obs import span
 from repro.platform import Platform
 from repro.runner import RunnerConfig, RunReport, comparison_units, run as run_units
 from repro.schedule.serialization import result_from_dict
@@ -244,28 +245,29 @@ def build_grid(
     units = comparison_units(
         core_counts, level_counts, t_max_values, approaches, common, tau=tau
     )
-    report = run_units(
-        units,
-        config=config,
-        run_dir=run_dir,
-        resume=resume,
-        progress=progress,
-        manifest_extra={
-            "experiment": "comparison",
-            "grid": {
-                "core_counts": [int(n) for n in core_counts],
-                "level_counts": [int(lv) for lv in level_counts],
-                "t_max_values": [float(t) for t in t_max_values],
-                "approaches": list(approaches),
-                "tau": float(tau),
-                "params": common,
+    with span("experiment/build_grid", units=len(units)):
+        report = run_units(
+            units,
+            config=config,
+            run_dir=run_dir,
+            resume=resume,
+            progress=progress,
+            manifest_extra={
+                "experiment": "comparison",
+                "grid": {
+                    "core_counts": [int(n) for n in core_counts],
+                    "level_counts": [int(lv) for lv in level_counts],
+                    "t_max_values": [float(t) for t in t_max_values],
+                    "approaches": list(approaches),
+                    "tau": float(tau),
+                    "params": common,
+                },
             },
-        },
-    )
-    cells = _assemble_cells(
-        core_counts, level_counts, t_max_values, tuple(approaches), tau,
-        common, report.records,
-    )
+        )
+        cells = _assemble_cells(
+            core_counts, level_counts, t_max_values, tuple(approaches), tau,
+            common, report.records,
+        )
     return ComparisonGrid(cells=cells, report=report)
 
 

@@ -25,6 +25,7 @@ from repro.experiments.motivation import table2, table3
 from repro.experiments.table5 import table5
 from repro.experiments.tsp_comparison import tsp_comparison
 from repro.experiments.reactive_comparison import reactive_comparison
+from repro.obs import span
 
 __all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment", "run_experiment"]
 
@@ -189,4 +190,5 @@ def run_experiment(name: str, quick: bool = False, **kwargs):
             f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}"
         )
     merged = {**spec.quick, **kwargs} if quick else kwargs
-    return spec.run(**merged)
+    with span(f"experiment/{name}", quick=bool(quick)):
+        return spec.run(**merged)

@@ -1,0 +1,68 @@
+"""repro.obs — zero-dependency observability: tracing spans and metrics.
+
+The production-facing telemetry layer the engine, solvers, experiment
+grid and sharded runner are instrumented with:
+
+* **spans** (:func:`span`, :func:`capture_spans`) — hierarchical timed
+  regions with attributes, off by default and nearly free while off;
+* **metrics** (:data:`METRICS`) — process-local counters, gauges and
+  fixed-bucket histograms, always on;
+* **sinks** (:class:`MemorySink`, :class:`JsonlSink`) — attach one to
+  turn span recording on; the CLI's ``--trace PATH`` attaches a
+  :class:`JsonlSink`;
+* **reports** (:func:`run_dir_summary`, :func:`aggregate_spans`) — the
+  machinery behind ``repro stats <run-dir>``.
+
+Layering rule: this package must stay importable without pulling in any
+solver or experiment code — it may not import
+:mod:`repro.algorithms` or :mod:`repro.experiments` (ruff TID + a
+layering test enforce this), so it can sit underneath every other layer.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.report import (
+    SpanAggregate,
+    aggregate_spans,
+    format_span_table,
+    run_dir_summary,
+)
+from repro.obs.sinks import JsonlSink, MemorySink, NullSink
+from repro.obs.trace import (
+    TRACER,
+    Span,
+    Tracer,
+    capture_spans,
+    current_span,
+    record_span,
+    span,
+)
+
+__all__ = [
+    "span",
+    "current_span",
+    "record_span",
+    "capture_spans",
+    "Span",
+    "Tracer",
+    "TRACER",
+    "METRICS",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "NullSink",
+    "MemorySink",
+    "JsonlSink",
+    "SpanAggregate",
+    "aggregate_spans",
+    "format_span_table",
+    "run_dir_summary",
+]

@@ -1,0 +1,159 @@
+"""Process-local metrics registry: counters, gauges, fixed-bucket histograms.
+
+Unlike spans (off unless a sink is attached), metrics are always-on:
+an increment is one integer add and a histogram observation is one short
+linear scan, cheap enough to leave in any hot path.  The registry is a
+plain process-local dict — :meth:`MetricsRegistry.snapshot` dumps it as
+JSON-able data for the trace file or a stats report, and
+:meth:`MetricsRegistry.reset` re-zeroes it between runs.
+
+Instruments are get-or-create by name, so call sites need no setup::
+
+    from repro.obs import METRICS
+
+    METRICS.counter("runner.units_ok").inc()
+    METRICS.histogram("engine.batch_size").observe(len(batch))
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds (values above the last bound
+#: land in the implicit overflow bucket).  Geometric, covering the
+#: repo's natural ranges: batch sizes, iteration counts, milliseconds.
+DEFAULT_BUCKETS = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket distribution: counts per bucket plus sum and count.
+
+    ``bounds`` are inclusive upper edges; an observation greater than the
+    last bound lands in the overflow bucket, so ``len(counts) ==
+    len(bounds) + 1`` and ``sum(counts) == count`` always.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "count")
+
+    def __init__(self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS):
+        if not bounds or list(bounds) != sorted(float(b) for b in bounds):
+            raise ValueError(f"histogram bounds must be sorted, got {bounds!r}")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+        }
+
+
+class MetricsRegistry:
+    """Name -> instrument map with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Any] = {}
+
+    def _get(self, name: str, kind: type, *args: Any) -> Any:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = kind(name, *args)
+            self._instruments[name] = inst
+        elif not isinstance(inst, kind):
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}, not {kind.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get(name, Histogram, bounds)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able dump: ``{"counters": ..., "gauges": ..., "histograms": ...}``."""
+        doc: dict[str, dict[str, Any]] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        for name, inst in sorted(self._instruments.items()):
+            if isinstance(inst, Counter):
+                doc["counters"][name] = inst.value
+            elif isinstance(inst, Gauge):
+                doc["gauges"][name] = inst.value
+            else:
+                doc["histograms"][name] = inst.as_dict()
+        return doc
+
+    def reset(self) -> None:
+        """Drop every instrument (tests, or between CLI commands)."""
+        self._instruments.clear()
+
+
+#: The process-local default registry.
+METRICS = MetricsRegistry()

@@ -1,0 +1,99 @@
+"""Span sinks: where finished spans go.
+
+A sink is anything with ``write_span(span)`` (and optionally
+``close()``).  The tracer is enabled exactly while at least one sink is
+attached, so the choice of sink is also the on/off switch:
+
+* :class:`MemorySink` — collect spans in a list (tests, per-unit capture
+  in the sharded runner's workers);
+* :class:`JsonlSink` — stream spans as JSON Lines to a file (the CLI's
+  ``--trace PATH``);
+* :class:`NullSink` — swallow spans (keeps the tracer exercised without
+  output; mostly useful for overhead measurements).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.obs.trace import Span
+
+__all__ = ["NullSink", "MemorySink", "JsonlSink"]
+
+
+class NullSink:
+    """Accept and discard every span."""
+
+    def write_span(self, span: Span) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class MemorySink:
+    """Collect finished spans in order of completion."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+
+    def write_span(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Stream spans (and arbitrary extra documents) as JSON Lines.
+
+    One JSON object per line, written eagerly so a crashed process still
+    leaves a readable prefix.  :meth:`write_doc` lets callers append
+    non-span rows — the CLI uses it to splice per-unit spans recovered
+    from journal rows (tagged with their ``unit_id``) and a final
+    metrics snapshot into the same trace file.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        if self.path.parent != Path(""):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w", encoding="utf-8")
+
+    def write_span(self, span: Span) -> None:
+        self.write_doc(span.as_dict())
+
+    def write_doc(self, doc: dict[str, Any]) -> None:
+        self._fh.write(json.dumps(doc, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    @staticmethod
+    def load(path: str | os.PathLike) -> list[dict[str, Any]]:
+        """Read a trace file back into its row dicts (bad lines skipped)."""
+        rows: list[dict[str, Any]] = []
+        p = Path(path)
+        if not p.exists():
+            return rows
+        with open(p, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rows.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+        return rows

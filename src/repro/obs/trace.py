@@ -1,0 +1,300 @@
+"""Hierarchical tracing spans — the zero-dependency core of :mod:`repro.obs`.
+
+A span is one timed region of work (``span("ao/choose_m")``) with a wall
+clock, a parent link, and arbitrary key/value attributes (batch size,
+cache hit rate, ...).  Spans nest lexically through the process-local
+:class:`Tracer`: the span opened innermost is the parent of whatever
+opens next, so a traced AO run comes out as a tree —
+``solve/AO`` > ``ao/choose_m`` > ... — without any caller threading
+context objects around.
+
+The subsystem is **off by default** and the off path is engineered to be
+nearly free: with no sink attached, :func:`span` returns one shared
+do-nothing context manager (no ``Span`` allocation, no clock read), so
+instrumentation can stay compiled into every hot path in production.
+Attaching a sink (:class:`~repro.obs.sinks.MemorySink`,
+:class:`~repro.obs.sinks.JsonlSink`) turns recording on; see
+:func:`capture_spans` for scoped capture.
+
+The tracer is process-local and not thread-safe by design — the repo's
+parallelism is process-based (the sharded runner), and each worker
+process records its own spans which travel back to the parent inside the
+unit's journal row.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "TRACER",
+    "span",
+    "current_span",
+    "record_span",
+    "capture_spans",
+]
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) timed region.
+
+    Attributes
+    ----------
+    name:
+        Hierarchical slash-separated name (``"solve/AO"``,
+        ``"ao/choose_m"``, ``"unit/solve_cell"``).
+    span_id / parent_id:
+        Identifiers scoped to the emitting process (the tracer numbers
+        spans 1, 2, ...).  Cross-process consumers (the trace file, the
+        journal) must treat them as local to their unit/process.
+    start_unix_s:
+        Wall-clock start (``time.time()``).
+    duration_s:
+        Elapsed seconds (monotonic clock), 0.0 while in flight.
+    attrs:
+        Arbitrary JSON-able key/value attributes.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None = None
+    start_unix_s: float = 0.0
+    duration_s: float = 0.0
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def set_attrs(self, **attrs: Any) -> "Span":
+        """Attach attributes to the span (chainable)."""
+        self.attrs.update(attrs)
+        return self
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-friendly dump (the journal / trace-file row shape)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_unix_s": self.start_unix_s,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "Span":
+        """Rebuild a span from :meth:`as_dict` output."""
+        parent = doc.get("parent_id")
+        return cls(
+            name=str(doc.get("name", "")),
+            span_id=int(doc.get("span_id", 0)),
+            parent_id=int(parent) if parent is not None else None,
+            start_unix_s=float(doc.get("start_unix_s", 0.0)),
+            duration_s=float(doc.get("duration_s", 0.0)),
+            attrs=dict(doc.get("attrs") or {}),
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set_attrs(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+class _NullSpanContext:
+    """Shared do-nothing context manager — the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class _SpanContext:
+    """Live span context manager: open on enter, emit to sinks on exit."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._name, self._attrs)
+        self._t0 = time.perf_counter()
+        return self._span
+
+    def __exit__(self, *exc: object) -> bool:
+        self._span.duration_s = time.perf_counter() - self._t0
+        self._tracer._close(self._span)
+        return False
+
+
+class Tracer:
+    """Process-local span emitter: a stack, an id counter, and sinks.
+
+    ``enabled`` is True exactly while at least one sink is attached;
+    every :func:`span` call checks it first, so the disabled cost is one
+    attribute load.
+    """
+
+    def __init__(self) -> None:
+        self._sinks: list[Any] = []
+        self._stack: list[Span] = []
+        self._next_id: int = 1
+        self.enabled: bool = False
+
+    # -- sink management ------------------------------------------------
+
+    def add_sink(self, sink: Any) -> None:
+        """Attach a sink (enables tracing while any sink is attached)."""
+        self._sinks.append(sink)
+        self.enabled = True
+
+    def remove_sink(self, sink: Any) -> None:
+        """Detach a sink previously added with :meth:`add_sink`."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
+        self.enabled = bool(self._sinks)
+
+    # -- span lifecycle -------------------------------------------------
+
+    def _open(self, name: str, attrs: dict[str, Any]) -> Span:
+        parent = self._stack[-1].span_id if self._stack else None
+        sp = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent,
+            start_unix_s=time.time(),
+            attrs=attrs,
+        )
+        self._next_id += 1
+        self._stack.append(sp)
+        return sp
+
+    def _close(self, sp: Span) -> None:
+        # Tolerate a mismatched close (a caller kept the context object
+        # around); only pop if it is actually on top.
+        if self._stack and self._stack[-1] is sp:
+            self._stack.pop()
+        for sink in self._sinks:
+            sink.write_span(sp)
+
+    def span(self, name: str, attrs: dict[str, Any]) -> _SpanContext:
+        return _SpanContext(self, name, attrs)
+
+    def record(
+        self,
+        name: str,
+        duration_s: float,
+        attrs: dict[str, Any] | None = None,
+        start_unix_s: float | None = None,
+    ) -> None:
+        """Emit an already-measured span (no context manager involved).
+
+        No-op while disabled.  Used for work timed elsewhere — e.g. the
+        runner records one ``runner/unit`` span per settled unit from the
+        elapsed time the worker reported.
+        """
+        if not self.enabled:
+            return
+        parent = self._stack[-1].span_id if self._stack else None
+        sp = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent,
+            start_unix_s=(
+                start_unix_s if start_unix_s is not None
+                else time.time() - duration_s
+            ),
+            duration_s=float(duration_s),
+            attrs=dict(attrs or {}),
+        )
+        self._next_id += 1
+        for sink in self._sinks:
+            sink.write_span(sp)
+
+    def current(self) -> Span | None:
+        """The innermost open span, or ``None``."""
+        return self._stack[-1] if self._stack else None
+
+
+#: The process-local tracer every :func:`span` call goes through.
+TRACER = Tracer()
+
+
+def span(name: str, **attrs: Any):
+    """Open a traced region: ``with span("ao/choose_m", m_cap=64) as sp:``.
+
+    Returns a context manager yielding the live :class:`Span` (call
+    ``sp.set_attrs(...)`` to attach results discovered mid-region).
+    While no sink is attached this returns one shared no-op context
+    manager — no allocation, no clock read.
+    """
+    if not TRACER.enabled:
+        return _NULL_CONTEXT
+    return TRACER.span(name, attrs)
+
+
+def current_span() -> Span | _NullSpan:
+    """The innermost open span (a no-op span while disabled/idle)."""
+    if not TRACER.enabled:
+        return _NULL_SPAN
+    return TRACER.current() or _NULL_SPAN
+
+
+def record_span(
+    name: str,
+    duration_s: float,
+    attrs: dict[str, Any] | None = None,
+    start_unix_s: float | None = None,
+) -> None:
+    """Emit an already-measured span through the process tracer."""
+    TRACER.record(name, duration_s, attrs=attrs, start_unix_s=start_unix_s)
+
+
+@contextmanager
+def capture_spans(isolate: bool = False) -> Iterator[list[Span]]:
+    """Collect every span finished inside the block into a list.
+
+    With ``isolate=True`` the tracer's existing sinks and open-span stack
+    are suspended for the duration: captured spans go *only* to the
+    returned list and form their own tree.  This is how the runner's
+    worker path keeps per-unit spans out of any live trace sink — the
+    unit's spans travel in its journal row instead, so they are written
+    exactly once whether the unit ran in-process or in a worker.
+    """
+    from repro.obs.sinks import MemorySink
+
+    sink = MemorySink()
+    if isolate:
+        saved_sinks, saved_stack = TRACER._sinks, TRACER._stack
+        TRACER._sinks, TRACER._stack = [sink], []
+        TRACER.enabled = True
+        try:
+            yield sink.spans
+        finally:
+            TRACER._sinks, TRACER._stack = saved_sinks, saved_stack
+            TRACER.enabled = bool(TRACER._sinks)
+    else:
+        TRACER.add_sink(sink)
+        try:
+            yield sink.spans
+        finally:
+            TRACER.remove_sink(sink)

@@ -36,6 +36,7 @@ from typing import Any
 
 from repro.engine import EngineStats
 from repro.errors import RunnerError
+from repro.obs import METRICS, record_span, span
 from repro.runner.journal import (
     JOURNAL_NAME,
     MANIFEST_NAME,
@@ -257,6 +258,7 @@ class _RunState:
             "elapsed_s": round(float(elapsed), 6),
             "result": (outcome or {}).get("result"),
             "stats": (outcome or {}).get("stats"),
+            "spans": (outcome or {}).get("spans"),
             "error": dict(error) if error is not None else None,
         }
         detail = (outcome or {}).get("detail")
@@ -266,6 +268,18 @@ class _RunState:
             self.journal.append(row)
         self.report.records[unit.unit_id] = row
         self.completed += 1
+        METRICS.counter(f"runner.units_{status}").inc()
+        METRICS.histogram("runner.unit_seconds").observe(float(elapsed))
+        record_span(
+            "runner/unit",
+            float(elapsed),
+            attrs={
+                "unit_id": unit.unit_id,
+                "label": unit.label or unit.unit_id,
+                "status": status,
+                "attempts": attempts,
+            },
+        )
         if self.progress is not None:
             self.progress(
                 {
@@ -552,10 +566,17 @@ def run(
             todo.append(unit)
 
     try:
-        if config.parallel and todo:
-            _run_parallel(todo, config, state)
-        elif todo:
-            _run_sequential(todo, config, state)
+        with span(
+            "runner/run",
+            units=len(unique),
+            todo=len(todo),
+            resumed=report.skipped,
+            parallel=config.parallel,
+        ):
+            if config.parallel and todo:
+                _run_parallel(todo, config, state)
+            elif todo:
+                _run_sequential(todo, config, state)
     finally:
         if journal is not None:
             journal.close()

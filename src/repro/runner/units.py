@@ -90,13 +90,22 @@ def units_hash(units: Sequence[WorkUnit]) -> str:
 def _exec_solve_cell(payload: Mapping[str, Any]) -> dict[str, Any]:
     """Run one registered solver on one platform configuration.
 
-    Returns an ``{"status", "result", "stats"}`` document; an
+    Returns an ``{"status", "result", "stats", "spans"}`` document; an
     :class:`~repro.errors.InfeasibleError` is a normal outcome
     (``status="infeasible"``), not a failure.
+
+    Spans are always captured in **isolation**: the unit's span tree goes
+    only into the outcome document (and from there into the journal row),
+    never to a live trace sink — so per-unit spans are written exactly
+    once whether the unit ran in-process or in a worker, and a resumed
+    run inherits them from the journal.  The root ``unit/solve_cell``
+    span's attributes are set from the *same* stats dict stored in the
+    row, which is what makes a trace file reconcile with the journal.
     """
     from repro.algorithms.registry import get_solver
     from repro.engine import ThermalEngine
     from repro.errors import InfeasibleError
+    from repro.obs import capture_spans, span
     from repro.platform import paper_platform
     from repro.schedule.serialization import result_to_dict
 
@@ -110,21 +119,46 @@ def _exec_solve_cell(payload: Mapping[str, Any]) -> dict[str, Any]:
     spec = get_solver(str(payload["algo"]))
     params = dict(payload.get("params") or {})
     mark = engine.checkpoint()
-    try:
-        result = spec.solve(engine, **params)
-    except InfeasibleError as exc:
-        return {
-            "status": "infeasible",
-            "result": None,
-            "stats": engine.stats_since(mark).as_dict(),
-            "detail": str(exc),
-        }
-    stats = result.stats if result.stats is not None else engine.stats_since(mark)
-    return {
-        "status": "ok",
-        "result": result_to_dict(result),
-        "stats": stats.as_dict(),
-    }
+    outcome: dict[str, Any]
+    with capture_spans(isolate=True) as captured:
+        with span(
+            "unit/solve_cell",
+            algo=spec.name,
+            n_cores=int(payload["n_cores"]),
+            n_levels=int(payload["n_levels"]),
+            t_max_c=float(payload["t_max_c"]),
+        ) as root:
+            try:
+                result = spec.solve(engine, **params)
+            except InfeasibleError as exc:
+                stats = engine.stats_since(mark).as_dict()
+                outcome = {
+                    "status": "infeasible",
+                    "result": None,
+                    "stats": stats,
+                    "detail": str(exc),
+                }
+            else:
+                st = (
+                    result.stats if result.stats is not None
+                    else engine.stats_since(mark)
+                )
+                stats = st.as_dict()
+                outcome = {
+                    "status": "ok",
+                    "result": result_to_dict(result),
+                    "stats": stats,
+                }
+            root.set_attrs(
+                status=outcome["status"],
+                ss_solves=stats["steady_state_solves"],
+                ss_cache_hits=stats["steady_state_cache_hits"],
+                ss_batch_rows=stats["steady_state_batch_rows"],
+                expm_applications=stats["expm_applications"],
+                peak_evals=stats["peak_evals"],
+            )
+    outcome["spans"] = [s.as_dict() for s in captured]
+    return outcome
 
 
 def _exec_probe(payload: Mapping[str, Any]) -> dict[str, Any]:

@@ -51,16 +51,20 @@ class TestMain:
         # The solver registry is enumerated alongside the experiments.
         assert "AO" in out and "PCO" in out
 
-    def test_unknown_experiment(self, capsys):
-        assert main(["nope"]) == 2
-        assert "unknown experiment" in capsys.readouterr().err
+    def test_bare_experiment_form_is_retired(self, capsys):
+        # The historical `repro fig2` shim is gone: argparse rejects the
+        # unknown subcommand with its usage error (exit code 2).
+        with pytest.raises(SystemExit) as exc:
+            main(["fig2", "--quick"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
 
     def test_unknown_experiment_via_run(self, capsys):
         assert main(["run", "nope"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
     def test_quick_fig2(self, capsys):
-        assert main(["fig2", "--quick"]) == 0
+        assert main(["run", "fig2", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "Fig. 2" in out
         assert "finished in" in out
@@ -69,12 +73,15 @@ class TestMain:
         assert main(["run", "table2", "--quick"]) == 0
         assert "Table II" in capsys.readouterr().out
 
-    def test_quick_table2(self, capsys):
-        assert main(["table2", "--quick"]) == 0
-        assert "Table II" in capsys.readouterr().out
+    def test_legacy_subcommand_warns_and_runs(self, capsys):
+        with pytest.warns(DeprecationWarning, match="repro run"):
+            assert main(["legacy", "table2", "--quick"]) == 0
+        captured = capsys.readouterr()
+        assert "Table II" in captured.out
+        assert "deprecated" in captured.err
 
     def test_option_override(self, capsys):
-        assert main(["fig5", "--quick", "-o", "m_max=2"]) == 0
+        assert main(["run", "fig5", "--quick", "-o", "m_max=2"]) == 0
         out = capsys.readouterr().out
         assert out.count("\n1 ") or "1 " in out
 
@@ -85,16 +92,93 @@ class TestMain:
 
     def test_csv_export(self, tmp_path, capsys):
         out = tmp_path / "grid.csv"
-        assert main(["fig7", "--quick", "--csv", str(out)]) == 0
+        assert main(["run", "fig7", "--quick", "--csv", str(out)]) == 0
         text = out.read_text()
         assert text.startswith("cores,levels,t_max_c")
         assert len(text.splitlines()) > 1
 
     def test_csv_ignored_without_grid(self, tmp_path, capsys):
         out = tmp_path / "nope.csv"
-        assert main(["fig2", "--csv", str(out)]) == 0
+        assert main(["run", "fig2", "--csv", str(out)]) == 0
         assert not out.exists()
         assert "ignored" in capsys.readouterr().err
+
+
+class TestTraceAndStats:
+    def test_run_trace_reconciles_with_journal(self, tmp_path, capsys):
+        """Acceptance: the trace file's per-unit root spans must agree
+        with the journal's EngineStats, counter for counter."""
+        import json
+
+        trace = tmp_path / "t.jsonl"
+        run_dir = tmp_path / "rd"
+        assert main([
+            "run", "comparison", "--quick",
+            "--trace", str(trace), "--run-dir", str(run_dir),
+        ]) == 0
+        assert "trace written" in capsys.readouterr().out
+
+        rows = [json.loads(line) for line in trace.read_text().splitlines()]
+        spans = [r for r in rows if "name" in r]
+        roots = [s for s in spans if s["name"] == "unit/solve_cell"]
+        assert roots, "trace holds no per-unit root spans"
+        assert all("unit_id" in s for s in roots)
+
+        journal = [
+            json.loads(line)
+            for line in (run_dir / "journal.jsonl").read_text().splitlines()
+        ]
+        assert len(roots) == len(journal)
+        for key_trace, key_journal in (
+            ("ss_solves", "steady_state_solves"),
+            ("expm_applications", "expm_applications"),
+        ):
+            trace_total = sum(s["attrs"][key_trace] for s in roots)
+            journal_total = sum(r["stats"][key_journal] for r in journal)
+            assert trace_total == journal_total
+
+        # Live (non-unit) spans cover the experiment and runner layers,
+        # and the file ends with a metrics snapshot document.
+        live = {s["name"] for s in spans if "unit_id" not in s}
+        assert {"experiment/comparison", "runner/run", "runner/unit"} <= live
+        assert any("metrics" in r for r in rows)
+
+    def test_solve_trace_has_solver_phase_spans(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "solve.jsonl"
+        assert main([
+            "solve", "AO", "-o", "n_cores=2", "-o", "m_cap=8",
+            "--trace", str(trace),
+        ]) == 0
+        names = {
+            json.loads(line)["name"]
+            for line in trace.read_text().splitlines()
+            if "name" in json.loads(line)
+        }
+        assert "solve/AO" in names
+        assert "ao/choose_m" in names
+
+    def test_trace_sink_detached_after_run(self, tmp_path):
+        from repro.obs import TRACER
+
+        trace = tmp_path / "t.jsonl"
+        main(["run", "table2", "--trace", str(trace)])
+        assert not TRACER.enabled
+
+    def test_stats_summarizes_run_dir(self, tmp_path, capsys):
+        run_dir = tmp_path / "rd"
+        assert main(["run", "comparison", "--quick", "--run-dir", str(run_dir)]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "unit spans" in out
+        assert "unit/solve_cell" in out
+        assert "engine stats:" in out
+
+    def test_stats_missing_run_dir_exits_2(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope")]) == 2
+        assert "no run manifest" in capsys.readouterr().err
 
 
 class TestSolve:

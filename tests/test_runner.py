@@ -41,7 +41,7 @@ def probe(behavior="ok", **extra) -> WorkUnit:
 
 
 #: Timing fields a resumed run may legitimately differ in.
-TIMING_KEYS = ("runtime_s", "stats", "elapsed_s", "attempts")
+TIMING_KEYS = ("runtime_s", "stats", "spans", "elapsed_s", "attempts")
 
 
 def strip_timing(row: dict) -> dict:
@@ -296,6 +296,81 @@ def _wait_for_journal_rows(path: Path, n: int, timeout: float = 60.0) -> None:
             return
         time.sleep(0.02)
     raise AssertionError(f"journal {path} never reached {n} rows")
+
+
+class TestUnitSpanJournal:
+    """Per-unit observability spans ride in the journal rows."""
+
+    def _unit(self, algo="LNS"):
+        return WorkUnit(
+            kind="solve_cell",
+            payload={
+                "n_cores": 2, "n_levels": 2, "t_max_c": 55.0, "tau": 5e-6,
+                "algo": algo, "params": {},
+            },
+            label=f"{algo}@2x2",
+        )
+
+    def test_spans_round_trip_through_journal(self, tmp_path):
+        from repro.obs import Span
+
+        rd = tmp_path / "rd"
+        report = run([self._unit()], run_dir=rd)
+        row = next(iter(report.records.values()))
+        spans = row["spans"]
+        assert spans, "solve_cell row carries no spans"
+
+        roots = [s for s in spans if s["parent_id"] is None]
+        assert [r["name"] for r in roots] == ["unit/solve_cell"]
+        # The root span's attrs are derived from the same stats dict the
+        # row stores — the invariant `repro run --trace` reconciles on.
+        assert roots[0]["attrs"]["ss_solves"] == row["stats"]["steady_state_solves"]
+        assert (
+            roots[0]["attrs"]["expm_applications"]
+            == row["stats"]["expm_applications"]
+        )
+
+        reloaded = Journal.load(rd / "journal.jsonl")[row["unit_id"]]
+        assert reloaded["spans"] == spans
+        rebuilt = [Span.from_dict(d) for d in reloaded["spans"]]
+        assert any(s.name == "solve/LNS" for s in rebuilt)
+
+    def test_parallel_worker_ships_spans_home(self, tmp_path):
+        report = run(
+            [self._unit()],
+            config=RunnerConfig(parallel=True, max_workers=1),
+            run_dir=tmp_path / "rd",
+        )
+        row = next(iter(report.records.values()))
+        assert any(s["name"] == "unit/solve_cell" for s in row["spans"])
+
+    def test_resume_counts_spans_exactly_once(self, tmp_path):
+        from repro.obs import run_dir_summary
+
+        rd = tmp_path / "rd"
+        run([self._unit()], run_dir=rd)
+        report = run([self._unit()], run_dir=rd, resume=True)
+        assert report.skipped == 1
+        summary = run_dir_summary(rd)
+        assert summary.span_agg["unit/solve_cell"].count == 1
+        assert summary.span_agg["solve/LNS"].count == 1
+
+    def test_unit_spans_stay_out_of_live_sinks(self, tmp_path):
+        """A live sink during a sequential run sees runner spans but not
+        the unit-internal ones (those travel via the journal only)."""
+        from repro.obs import TRACER, MemorySink
+
+        sink = MemorySink()
+        TRACER.add_sink(sink)
+        try:
+            run([self._unit()], run_dir=tmp_path / "rd")
+        finally:
+            TRACER.remove_sink(sink)
+        names = {s.name for s in sink.spans}
+        assert "runner/run" in names
+        assert "runner/unit" in names
+        assert "unit/solve_cell" not in names
+        assert "solve/LNS" not in names
 
 
 class TestKillAndResumeCLI:
