@@ -21,7 +21,10 @@ The package implements the paper's complete stack:
 * :mod:`repro.analysis` — executable checks of Theorems 1-5,
 * :mod:`repro.experiments` — one callable per table/figure of the paper,
 * :mod:`repro.obs` — zero-dependency observability (tracing spans,
-  metrics, the machinery behind ``repro run --trace`` / ``repro stats``).
+  metrics, the machinery behind ``repro run --trace`` / ``repro stats``),
+* :mod:`repro.safety` — independent safety certificates
+  (:func:`certify`), solver fallback chains (:func:`guarded_solve` lives
+  in the registry), and injectable fault models (:class:`FaultSpec`).
 
 Quickstart::
 
@@ -56,6 +59,8 @@ from repro.algorithms import (
     pco,
     solve,
 )
+from repro.algorithms.registry import guarded_solve
+from repro.safety import FaultSpec, SafetyCertificate, certify
 from repro.power import PowerModel, TransitionOverhead, VoltageLadder, paper_ladder
 from repro.schedule import PeriodicSchedule, m_oscillate, step_up, throughput
 from repro.thermal import ThermalModel, peak_temperature, stepup_peak_temperature
@@ -86,6 +91,10 @@ __all__ = [
     "SOLVERS",
     "get_solver",
     "solve",
+    "guarded_solve",
+    "SafetyCertificate",
+    "certify",
+    "FaultSpec",
     "ao",
     "pco",
     "exs",

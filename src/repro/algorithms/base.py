@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.engine import EngineStats
 from repro.schedule.periodic import PeriodicSchedule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.safety.certificate import SafetyCertificate
 
 __all__ = ["SchedulerResult"]
 
@@ -38,6 +41,12 @@ class SchedulerResult:
         (:class:`~repro.engine.EngineStats`) — steady-state solves, cache
         hit rates, batch sizes, per-phase wall time.  ``None`` when the
         algorithm ran outside an instrumented engine.
+    certificate:
+        Independent :class:`~repro.safety.certificate.SafetyCertificate`
+        re-verifying the emitted schedule through a different numerical
+        route.  Attached by the solver registry
+        (:meth:`~repro.algorithms.registry.SolverSpec.solve`); ``None``
+        when the solver entry point was called directly.
     """
 
     name: str
@@ -48,6 +57,7 @@ class SchedulerResult:
     runtime_s: float = 0.0
     details: dict[str, Any] = field(default_factory=dict)
     stats: EngineStats | None = None
+    certificate: "SafetyCertificate | None" = None
 
     def peak_celsius(self, t_ambient_c: float = 35.0) -> float:
         """Peak temperature in Celsius."""
@@ -62,6 +72,8 @@ class SchedulerResult:
         )
         if self.stats is not None:
             line += f"\n  engine: {self.stats.summary_line()}"
+        if self.certificate is not None:
+            line += f"\n  {self.certificate.summary()}"
         return line
 
     def mean_voltage(self) -> float:

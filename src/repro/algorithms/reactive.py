@@ -23,6 +23,7 @@ import numpy as np
 from repro.algorithms.base import SchedulerResult
 from repro.engine import ThermalEngine, engine_entrypoint
 from repro.errors import SolverError
+from repro.safety.faults import FaultSpec
 from repro.schedule.intervals import StateInterval
 from repro.schedule.periodic import PeriodicSchedule
 
@@ -59,6 +60,7 @@ def reactive_throttling(
     guard_band: float = 0.0,
     horizon: float | None = None,
     settle_fraction: float = 0.5,
+    faults: FaultSpec | dict | None = None,
 ) -> SchedulerResult:
     """Simulate a per-core reactive threshold governor.
 
@@ -80,6 +82,14 @@ def reactive_throttling(
     settle_fraction:
         Fraction of the horizon discarded as warm-up before throughput
         and peak statistics are taken.
+    faults:
+        Optional :class:`~repro.safety.faults.FaultSpec` (or its dict
+        form) injected into the closed loop: the governor reacts to
+        *perturbed* sensor readings (noise, dropout), a stuck DVFS core
+        ignores its commands, and ambient drift raises the physical
+        temperatures the statistics are taken over.  The paper's DTM
+        dilemma, sharpened: an offline certificate is immune to all of
+        this; the reactive loop is not.
 
     Returns
     -------
@@ -93,6 +103,7 @@ def reactive_throttling(
     """
     if sensor_period <= 0:
         raise SolverError(f"sensor_period must be > 0, got {sensor_period}")
+    faults = FaultSpec.coerce(faults)
     mark = engine.checkpoint()
     model = engine.model
     ladder = engine.ladder
@@ -119,15 +130,24 @@ def reactive_throttling(
     measured_time = 0.0
 
     levels_arr = np.asarray(ladder.levels)
+    rng = faults.rng() if faults is not None else None
+    stuck_idx: int | None = None
+    if faults is not None and faults.stuck_core is not None:
+        stuck_idx = faults.stuck_level % len(ladder)
+    last_reading = np.zeros(n)
     for step in range(n_steps):
+        if stuck_idx is not None:
+            # The stuck actuator ignores whatever the governor decided.
+            level_idx[faults.stuck_core] = stuck_idx
         volts = levels_arr[level_idx]
         # Dense within-step maximum (the sensor cannot see it, we can).
         from repro.thermal.matex import interval_solution
 
+        drift = faults.drift_at((step + 1) / n_steps) if faults is not None else 0.0
         sol = interval_solution(model, theta, volts, sensor_period)
         if step >= settle_steps:
             val, _node, _when = sol.peak(nodes=cores, grid=16, refine=False)
-            peak = max(peak, val)
+            peak = max(peak, val + drift)
             work += float(volts.sum()) * sensor_period
             measured_time += sensor_period
         theta = sol.end_temperature()
@@ -136,8 +156,13 @@ def reactive_throttling(
         temps[step] = theta
         levels[step] = volts
 
-        # Governor reaction based on the (end-of-step) sensor reading.
-        reading = theta[cores]
+        # Governor reaction based on the (end-of-step) sensor reading —
+        # perturbed by the injected sensor faults, which is exactly what
+        # a real governor would be reacting to.
+        reading = theta[cores] + drift
+        if faults is not None and faults.any_sensor_fault:
+            reading = faults.perturb_reading(reading, last_reading, rng)
+        last_reading = reading
         for i in range(n):
             if reading[i] > throttle_at and level_idx[i] > 0:
                 level_idx[i] -= 1
@@ -167,6 +192,7 @@ def reactive_throttling(
             "overshoot_k": float(max(0.0, peak - theta_max)),
             "guard_band": guard_band,
             "sensor_period": sensor_period,
+            "faults": faults.as_dict() if faults is not None else None,
         },
         stats=engine.stats_since(mark),
     )

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Callable, Mapping
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -37,11 +37,18 @@ from repro.algorithms.minpeak import minimize_peak
 from repro.algorithms.pco import pco
 from repro.algorithms.reactive import reactive_throttling
 from repro.engine import ThermalEngine, engine_entrypoint
-from repro.errors import SolverError
+from repro.errors import InfeasibleError, SolverError, ThermalModelError
+from repro.obs import METRICS, span
 from repro.platform import Platform
+from repro.safety.certificate import (
+    DEFAULT_TOLERANCE,
+    certify,
+    claim_certificate,
+)
+from repro.safety.fallback import FALLBACK_CHAIN, run_fallback_hop
 from repro.schedule.builders import constant_schedule
 
-__all__ = ["SolverSpec", "SOLVERS", "get_solver", "solve"]
+__all__ = ["SolverSpec", "SOLVERS", "get_solver", "guarded_solve", "solve"]
 
 
 @engine_entrypoint("continuous")
@@ -145,16 +152,65 @@ class SolverSpec:
     schedule_is_artifact: bool = True
 
     def solve(
-        self, platform: Platform | ThermalEngine, **params
+        self,
+        platform: Platform | ThermalEngine,
+        *,
+        certify_tolerance: float | None = None,
+        **params,
     ) -> SchedulerResult:
-        """Run the solver after validating parameter names."""
+        """Run the solver after validating parameter names.
+
+        Every result leaving the registry carries an independent
+        :class:`~repro.safety.certificate.SafetyCertificate`: the
+        schedule's peak is re-derived through the general MatEx search
+        (a different route from the Theorem-1 fast path the solvers
+        optimize with) and checked against the solver's own claims.
+        Certification runs *after* the solver's counters were
+        checkpointed, so ``result.stats`` attributes exactly the work
+        the solver itself did.
+        """
         unknown = set(params) - set(self.params)
         if unknown:
             raise SolverError(
                 f"solver {self.name!r} does not accept "
                 f"{sorted(unknown)}; valid parameters: {sorted(self.params)}"
             )
-        return self.func(platform, **params)
+        engine = ThermalEngine.ensure(platform)
+        result = self.func(engine, **params)
+        return self.attach_certificate(engine, result, certify_tolerance)
+
+    def attach_certificate(
+        self,
+        engine: ThermalEngine,
+        result: SchedulerResult,
+        tolerance: float | None = None,
+    ) -> SchedulerResult:
+        """Certify ``result`` and return a copy carrying the certificate.
+
+        Solvers whose ``schedule`` field is the real artifact get the
+        full independent re-derivation; closed-loop baselines
+        (``schedule_is_artifact=False``) get a trace certificate — their
+        pseudo-schedule summarizes a simulation, so re-deriving its peak
+        would verify the wrong object.
+        """
+        tolerance = DEFAULT_TOLERANCE if tolerance is None else tolerance
+        if self.schedule_is_artifact:
+            cert = certify(
+                engine,
+                result.schedule,
+                tolerance=tolerance,
+                claimed_peak=result.peak_theta,
+                claimed_feasible=result.feasible,
+                claimed_throughput=result.throughput,
+            )
+        else:
+            cert = claim_certificate(
+                engine,
+                result.peak_theta,
+                claimed_feasible=result.feasible,
+                tolerance=tolerance,
+            )
+        return replace(result, certificate=cert)
 
 
 _AO_PARAMS = (
@@ -210,6 +266,7 @@ SOLVERS: dict[str, SolverSpec] = {
             description="reactive DTM threshold-throttling baseline",
             params=(
                 "sensor_period", "guard_band", "horizon", "settle_fraction",
+                "faults",
             ),
             schedule_is_artifact=False,
         ),
@@ -253,3 +310,98 @@ def solve(
 ) -> SchedulerResult:
     """Dispatch ``name`` through the registry: lookup, validate, run."""
     return get_solver(name).solve(platform, **params)
+
+
+#: Failures :func:`guarded_solve` degrades on (solver crashes and
+#: numerical breakdowns).  :class:`~repro.errors.InfeasibleError` is
+#: deliberately absent: "no feasible assignment exists" is a *correct
+#: answer*, not a failure, and no fallback can contradict it.
+_DEGRADABLE = (SolverError, ThermalModelError, np.linalg.LinAlgError)
+
+
+def guarded_solve(
+    solver: str | SolverSpec,
+    platform: Platform | ThermalEngine,
+    *,
+    certify_tolerance: float | None = None,
+    fallback_period: float = 0.02,
+    **params,
+) -> SchedulerResult:
+    """Run a solver with certificate gating and graceful degradation.
+
+    The happy path is exactly :meth:`SolverSpec.solve`.  When the solver
+    crashes (:class:`~repro.errors.SolverError`, a linear-algebra
+    failure) or its certificate is rejected, the result is rebuilt by
+    walking :data:`repro.safety.fallback.FALLBACK_CHAIN` — neighbor
+    rounding, then the exact constant search, then the lowest-mode
+    never-fails floor — until a hop yields a feasible, certified
+    schedule.  Each hop is traced as a ``safety/fallback`` span and
+    counted on the ``safety.fallback`` metric; the emitted result keeps
+    the *requested* solver's name (grid assembly keys rows by it) and
+    records what happened in ``details["fallback"]``.
+
+    Raises
+    ------
+    InfeasibleError
+        Propagated untouched — infeasibility is an answer, not a crash.
+    """
+    spec = solver if isinstance(solver, SolverSpec) else get_solver(solver)
+    engine = ThermalEngine.ensure(platform)
+    tolerance = DEFAULT_TOLERANCE if certify_tolerance is None else certify_tolerance
+
+    failure: str
+    try:
+        result = spec.solve(engine, certify_tolerance=tolerance, **params)
+    except InfeasibleError:
+        raise
+    except _DEGRADABLE as exc:
+        failure = f"{type(exc).__name__}: {exc}"
+    else:
+        cert = result.certificate
+        if cert is None or cert.accepted:
+            return result
+        failure = "certificate rejected: " + "; ".join(cert.reasons)
+
+    hop_failures: dict[str, str] = {}
+    last: SchedulerResult | None = None
+    for hop in FALLBACK_CHAIN:
+        METRICS.counter("safety.fallback").inc()
+        with span("safety/fallback", solver=spec.name, hop=hop, failure=failure):
+            try:
+                degraded = run_fallback_hop(hop, engine, period=fallback_period)
+            except _DEGRADABLE as exc:
+                hop_failures[hop] = f"{type(exc).__name__}: {exc}"
+                continue
+        cert = certify(
+            engine,
+            degraded.schedule,
+            tolerance=tolerance,
+            claimed_peak=degraded.peak_theta,
+            claimed_feasible=degraded.feasible,
+            claimed_throughput=degraded.throughput,
+        )
+        last = replace(
+            degraded,
+            name=spec.name,
+            certificate=cert,
+            details={
+                **degraded.details,
+                "fallback": {
+                    "requested": spec.name,
+                    "hop": hop,
+                    "failure": failure,
+                    "hop_failures": dict(hop_failures),
+                },
+            },
+        )
+        if cert.accepted and last.feasible:
+            return last
+        hop_failures[hop] = (
+            "infeasible" if cert.accepted else "; ".join(cert.reasons)
+        )
+    if last is not None:  # the floor built but is honestly infeasible
+        return last
+    raise SolverError(
+        f"solver {spec.name!r} failed ({failure}) and every fallback hop "
+        f"failed too: {hop_failures}"
+    )

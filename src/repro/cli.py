@@ -7,6 +7,8 @@
                            [--parallel] [--workers N] [--timeout S]
                            [--retries N] [--run-dir DIR | --resume DIR]
     repro solve <solver> [-o key=value] [--trace PATH]
+    repro certify [solvers...] [--quick] [-o key=value] [--tolerance K]
+                  [--reference] [--faults key=value]
     repro stats <run-dir>
     repro list
     repro legacy <experiment> ...   (deprecated alias for `run`)
@@ -14,9 +16,13 @@
 ``repro run`` regenerates a table/figure of the paper; ``repro solve``
 runs one registered scheduler on a freshly built paper platform and
 prints its result plus the thermal-engine instrumentation; ``repro
-stats`` summarizes a journaled run directory (unit statuses, run-level
-engine counters, per-span wall-time table); ``repro list`` enumerates
-both registries.  The historical single-positional form
+certify`` sweeps solvers over a small platform grid through the guarded
+registry path (:func:`repro.algorithms.registry.guarded_solve`) and
+prints every :class:`~repro.safety.certificate.SafetyCertificate` —
+exiting 4 if any certificate is rejected, which makes it a CI gate;
+``repro stats`` summarizes a journaled run directory (unit statuses,
+run-level engine counters, certificate tallies, per-span wall-time
+table); ``repro list`` enumerates both registries.  The historical single-positional form
 (``repro fig6 --quick``) is retired: a bare experiment id is now an
 error, and ``repro legacy fig6 --quick`` keeps the old spelling alive
 one release longer behind an explicit :class:`DeprecationWarning`.
@@ -295,6 +301,122 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default solver set for ``repro certify``: the paper's four
+#: comparison approaches.
+CERTIFY_DEFAULT_SOLVERS = ("LNS", "EXS", "AO", "PCO")
+
+
+def _as_tuple(value) -> tuple:
+    """Grid options accept a scalar (-o core_counts=3) or a tuple."""
+    return value if isinstance(value, tuple) else (value,)
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    from repro.algorithms.registry import SOLVERS, get_solver, guarded_solve
+    from repro.engine import ThermalEngine
+    from repro.errors import ConfigurationError, InfeasibleError
+    from repro.platform import paper_platform
+    from repro.safety.certificate import certify as certify_schedule
+    from repro.safety.faults import FaultSpec, perturbed_peak
+
+    names = args.solvers or list(CERTIFY_DEFAULT_SOLVERS)
+    specs = []
+    for name in names:
+        try:
+            specs.append(get_solver(name))
+        except KeyError:
+            print(
+                f"unknown solver {name!r}; known: {', '.join(SOLVERS)}",
+                file=sys.stderr,
+            )
+            return 2
+
+    options = dict(args.option)
+    core_counts = _as_tuple(options.pop("core_counts", (2, 3)))
+    level_counts = _as_tuple(options.pop("level_counts", (2,)))
+    t_max_values = _as_tuple(options.pop("t_max_values", (65.0,)))
+    platform_kwargs = {
+        k: options.pop(k)
+        for k in ("t_ambient_c", "tau", "topology")
+        if k in options
+    }
+
+    faults = None
+    if args.faults:
+        try:
+            faults = FaultSpec.from_dict(dict(args.faults))
+        except ConfigurationError as exc:
+            print(f"certify: {exc}", file=sys.stderr)
+            return 2
+
+    certified = rejected = fallbacks = 0
+    for n in core_counts:
+        for lv in level_counts:
+            for tm in t_max_values:
+                engine = ThermalEngine(
+                    paper_platform(
+                        int(n), n_levels=int(lv), t_max_c=float(tm),
+                        **platform_kwargs,
+                    )
+                )
+                print(f"platform: {n} cores, {lv} levels, T_max {tm} C")
+                for spec in specs:
+                    kwargs = {
+                        k: v for k, v in options.items() if k in spec.params
+                    }
+                    if args.quick:
+                        for key, value in spec.quick.items():
+                            kwargs.setdefault(key, value)
+                    try:
+                        result = guarded_solve(
+                            spec, engine,
+                            certify_tolerance=args.tolerance, **kwargs,
+                        )
+                    except InfeasibleError as exc:
+                        print(f"  {spec.name}: infeasible ({exc})")
+                        continue
+                    cert = result.certificate
+                    if args.reference and spec.schedule_is_artifact:
+                        # Re-derive with the LSODA ODE oracle as an extra
+                        # route; the stricter certificate is the verdict.
+                        cert_kwargs = (
+                            {} if args.tolerance is None
+                            else {"tolerance": args.tolerance}
+                        )
+                        cert = certify_schedule(
+                            engine,
+                            result.schedule,
+                            claimed_peak=result.peak_theta,
+                            claimed_feasible=result.feasible,
+                            claimed_throughput=result.throughput,
+                            reference=True,
+                            **cert_kwargs,
+                        )
+                    certified += 1
+                    print(f"  {spec.name}: {cert.summary()}")
+                    fallback = (result.details or {}).get("fallback")
+                    if fallback:
+                        fallbacks += 1
+                        print(
+                            f"    degraded via fallback hop "
+                            f"{fallback['hop']!r} ({fallback['failure']})"
+                        )
+                    if not cert.accepted:
+                        rejected += 1
+                    if faults is not None and spec.schedule_is_artifact:
+                        peak = perturbed_peak(engine, result.schedule, faults)
+                        margin = engine.theta_max - peak
+                        print(
+                            f"    under faults: peak {peak:.4f} K, "
+                            f"margin {margin:+.4f} K"
+                        )
+    print(
+        f"\n[{certified} certificate(s): {certified - rejected} accepted, "
+        f"{rejected} rejected, {fallbacks} via fallback]"
+    )
+    return 4 if rejected else 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.errors import RunnerError
     from repro.obs import run_dir_summary
@@ -423,6 +545,49 @@ def main(argv: list[str] | None = None) -> int:
         help="stream the solver's observability spans to PATH as JSON Lines",
     )
     p_solve.set_defaults(func=_cmd_solve)
+
+    p_cert = sub.add_parser(
+        "certify",
+        help="independently certify solver schedules over a platform grid",
+    )
+    p_cert.add_argument(
+        "solvers",
+        nargs="*",
+        help=(
+            "solver names to certify "
+            f"(default: {' '.join(CERTIFY_DEFAULT_SOLVERS)})"
+        ),
+    )
+    p_cert.add_argument(
+        "--quick",
+        action="store_true",
+        help="apply each solver's scale-reduced preset",
+    )
+    _add_option_argument(p_cert, "solver, platform, or grid")
+    p_cert.add_argument(
+        "--tolerance",
+        type=float,
+        metavar="K",
+        help="max disagreement (K) between certification routes before rejection",
+    )
+    p_cert.add_argument(
+        "--reference",
+        action="store_true",
+        help="add the LSODA ODE reference oracle as a certification route (slow)",
+    )
+    p_cert.add_argument(
+        "--faults",
+        action="append",
+        default=[],
+        type=_parse_option,
+        metavar="KEY=VALUE",
+        help=(
+            "also report each certified schedule's margin under an injected "
+            "fault scenario (repeatable; e.g. --faults stuck_core=0 "
+            "--faults ambient_drift_k=2)"
+        ),
+    )
+    p_cert.set_defaults(func=_cmd_certify)
 
     p_stats = sub.add_parser(
         "stats", help="summarize a journaled run directory (spans + counters)"

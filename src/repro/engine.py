@@ -280,6 +280,7 @@ class ThermalEngine:
         self._max_batch = 0
         self._phase_seconds: dict[str, float] = {}
         self._batch_histogram = METRICS.histogram("engine.batch_size")
+        self._condition_number: float | None = None
         self._baseline = self.checkpoint()
 
     @classmethod
@@ -337,6 +338,19 @@ class ThermalEngine:
     def feasible_constant(self, voltages) -> bool:
         """Whether a constant assignment keeps ``T_inf`` under the threshold."""
         return self.platform.feasible_constant(voltages)
+
+    def condition_number(self) -> float:
+        """2-norm condition number of ``G - E_beta`` (cached per engine).
+
+        The effective conductance matrix is what every steady-state and
+        stable-status solve factors; its conditioning bounds how much
+        the closed-form temperatures can be trusted.  Safety
+        certificates record it as a diagnostic
+        (:mod:`repro.safety.certificate`).
+        """
+        if self._condition_number is None:
+            self._condition_number = float(np.linalg.cond(self.model.g_eff))
+        return self._condition_number
 
     # ------------------------------------------------------------------
     # peak evaluation — scalar

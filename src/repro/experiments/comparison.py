@@ -27,7 +27,7 @@ from repro.algorithms.base import SchedulerResult
 from repro.algorithms.registry import get_solver
 from repro.engine import ThermalEngine
 from repro.errors import InfeasibleError
-from repro.obs import span
+from repro.obs import METRICS, span
 from repro.platform import Platform
 from repro.runner import RunnerConfig, RunReport, comparison_units, run as run_units
 from repro.schedule.serialization import result_from_dict
@@ -145,9 +145,26 @@ class ComparisonGrid:
         )
 
     def improvements(self, name: str = "AO", over: str = "EXS") -> np.ndarray:
-        """Per-cell relative improvements of ``name`` over ``over``."""
+        """Per-cell relative improvements of ``name`` over ``over``.
+
+        Cells where either approach is missing or infeasible yield a
+        non-finite ratio and are excluded — but not silently: every
+        skipped cell increments the ``comparison.ratio_cells_skipped``
+        obs counter (surfaced by ``repro stats`` and the headline
+        report), so a sweep that quietly lost half its grid is visible.
+        """
         vals = [c.improvement(name, over) for c in self.cells]
-        return np.asarray([v for v in vals if np.isfinite(v)])
+        finite = [v for v in vals if np.isfinite(v)]
+        skipped = len(vals) - len(finite)
+        if skipped:
+            METRICS.counter("comparison.ratio_cells_skipped").inc(skipped)
+        return np.asarray(finite)
+
+    def skipped_ratio_cells(self, name: str = "AO", over: str = "EXS") -> int:
+        """How many cells :meth:`improvements` would drop as non-finite."""
+        return sum(
+            1 for c in self.cells if not np.isfinite(c.improvement(name, over))
+        )
 
     def to_csv(self) -> str:
         """CSV dump of the grid (one row per cell, throughput + runtime)."""

@@ -24,16 +24,20 @@ class HeadlineResult:
     mean_improvement: float
     max_improvement: float
     grids: tuple[ComparisonGrid, ...] = ()
+    skipped_cells: int = 0
 
     def format(self) -> str:
-        return "\n".join(
-            [
-                "Headline — AO throughput improvement over EXS",
-                f"cells aggregated: {self.improvements.size}",
-                f"mean improvement: {self.mean_improvement:+.1%} (paper: +11% average)",
-                f"max  improvement: {self.max_improvement:+.1%} (paper: up to +89%)",
-            ]
-        )
+        lines = [
+            "Headline — AO throughput improvement over EXS",
+            f"cells aggregated: {self.improvements.size}",
+            f"mean improvement: {self.mean_improvement:+.1%} (paper: +11% average)",
+            f"max  improvement: {self.max_improvement:+.1%} (paper: up to +89%)",
+        ]
+        if self.skipped_cells:
+            lines.append(
+                f"cells skipped (missing/infeasible results): {self.skipped_cells}"
+            )
+        return "\n".join(lines)
 
 
 def headline(
@@ -98,4 +102,5 @@ def headline(
         mean_improvement=float(imps.mean()) if imps.size else float("nan"),
         max_improvement=float(imps.max()) if imps.size else float("nan"),
         grids=(fig6_grid, fig7_grid),
+        skipped_cells=grid.skipped_ratio_cells("AO", "EXS"),
     )

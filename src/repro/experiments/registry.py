@@ -14,6 +14,7 @@ from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 
 from repro.experiments.comparison import comparison
+from repro.experiments.faults import faults_experiment
 from repro.experiments.fig2 import fig2
 from repro.experiments.fig3 import fig3
 from repro.experiments.fig4 import fig4
@@ -157,6 +158,23 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             run=reactive_comparison,
             description="AO vs reactive DTM guard-band sweep",
             quick={"guard_bands": (0.0, 3.0), "m_cap": 16},
+        ),
+        ExperimentSpec(
+            name="faults",
+            run=faults_experiment,
+            description="fault injection: reactive loop vs AO certificate",
+            quick={
+                "n_cores": 2,
+                "scenarios": (
+                    ("clean", {}),
+                    ("noise + dropout", {
+                        "sensor_noise_sigma": 0.5,
+                        "sensor_dropout_prob": 0.3,
+                    }),
+                    ("ambient +2 K", {"ambient_drift_k": 2.0}),
+                ),
+                "m_cap": 16,
+            },
         ),
     )
 }

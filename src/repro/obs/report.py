@@ -93,6 +93,22 @@ class RunDirSummary:
     status_counts: dict[str, int]
     stats: Any  # repro.engine.EngineStats (typed loosely to keep obs light)
     span_agg: dict[str, SpanAggregate] = field(default_factory=dict)
+    certificates_accepted: int = 0
+    certificates_rejected: int = 0
+    fallback_units: int = 0
+    min_certified_margin: float | None = None
+
+    @property
+    def ratio_skipped_cells(self) -> int:
+        """Units whose rows ratio summaries will drop as non-finite.
+
+        Mirrors the ``comparison.ratio_cells_skipped`` obs counter the
+        experiment layer increments in-process: any journaled unit that
+        did not settle ``ok`` leaves a NaN in the comparison ratios.
+        """
+        return sum(
+            n for s, n in self.status_counts.items() if s != "ok"
+        )
 
     def format(self) -> str:
         created = self.manifest.get("created_at", "?")
@@ -104,6 +120,24 @@ class RunDirSummary:
             f"run {self.run_dir}",
             f"  created {created}, {declared} unit(s) declared, "
             f"{self.n_rows} journaled ({statuses})",
+        ]
+        if self.certificates_accepted or self.certificates_rejected:
+            cert_line = (
+                f"  certificates: {self.certificates_accepted} accepted, "
+                f"{self.certificates_rejected} rejected, "
+                f"{self.fallback_units} unit(s) via fallback chain"
+            )
+            if self.min_certified_margin is not None:
+                cert_line += (
+                    f" (tightest margin {self.min_certified_margin:+.3f} K)"
+                )
+            lines.append(cert_line)
+        if self.ratio_skipped_cells:
+            lines.append(
+                f"  ratio summaries skip {self.ratio_skipped_cells} "
+                "non-ok unit(s) (counted, not silent)"
+            )
+        lines += [
             self.stats.format(),
             format_span_table(self.span_agg, title="unit spans"),
         ]
@@ -129,11 +163,28 @@ def run_dir_summary(run_dir: str | os.PathLike) -> RunDirSummary:
     status_counts: dict[str, int] = {}
     span_docs: list[Mapping[str, Any]] = []
     stats = EngineStats()
+    accepted = rejected = fallbacks = 0
+    min_margin: float | None = None
     for row in rows.values():
         status = str(row.get("status", "?"))
         status_counts[status] = status_counts.get(status, 0) + 1
         if row.get("stats"):
             stats = stats.combine(EngineStats.from_dict(row["stats"]))
+        cert = row.get("certificate")
+        if cert:
+            if cert.get("accepted", False):
+                accepted += 1
+            else:
+                rejected += 1
+            margin = cert.get("margin")
+            if margin is not None:
+                margin = float(margin)
+                min_margin = (
+                    margin if min_margin is None else min(min_margin, margin)
+                )
+        result_doc = row.get("result")
+        if result_doc and (result_doc.get("details") or {}).get("fallback"):
+            fallbacks += 1
         for doc in row.get("spans") or ():
             span_docs.append(doc)
 
@@ -144,4 +195,8 @@ def run_dir_summary(run_dir: str | os.PathLike) -> RunDirSummary:
         status_counts=status_counts,
         stats=stats,
         span_agg=aggregate_spans(span_docs),
+        certificates_accepted=accepted,
+        certificates_rejected=rejected,
+        fallback_units=fallbacks,
+        min_certified_margin=min_margin,
     )

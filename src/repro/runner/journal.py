@@ -11,10 +11,14 @@ A run directory holds two files:
 ``journal.jsonl``
     One JSON object per *finished* unit (success, infeasible, or a
     structured error row), appended and flushed as soon as the unit
-    settles.  A crash or Ctrl-C therefore loses at most the units that
-    were in flight; everything journaled is skipped on resume.  A
-    half-written trailing line (the process died mid-append) is
-    tolerated and ignored by :meth:`Journal.load`.
+    settles.  Solve rows additionally carry the unit's
+    :class:`~repro.safety.certificate.SafetyCertificate` under a
+    ``"certificate"`` key (the independent peak re-derivation the
+    guarded registry path attaches), which ``repro stats`` tallies.  A
+    crash or Ctrl-C therefore loses at most the units that were in
+    flight; everything journaled is skipped on resume.  A half-written
+    trailing line (the process died mid-append) is tolerated and
+    ignored by :meth:`Journal.load`.
 """
 
 from __future__ import annotations

@@ -258,6 +258,7 @@ class _RunState:
             "elapsed_s": round(float(elapsed), 6),
             "result": (outcome or {}).get("result"),
             "stats": (outcome or {}).get("stats"),
+            "certificate": (outcome or {}).get("certificate"),
             "spans": (outcome or {}).get("spans"),
             "error": dict(error) if error is not None else None,
         }

@@ -90,9 +90,13 @@ def units_hash(units: Sequence[WorkUnit]) -> str:
 def _exec_solve_cell(payload: Mapping[str, Any]) -> dict[str, Any]:
     """Run one registered solver on one platform configuration.
 
-    Returns an ``{"status", "result", "stats", "spans"}`` document; an
-    :class:`~repro.errors.InfeasibleError` is a normal outcome
-    (``status="infeasible"``), not a failure.
+    Returns an ``{"status", "result", "stats", "certificate", "spans"}``
+    document; an :class:`~repro.errors.InfeasibleError` is a normal
+    outcome (``status="infeasible"``), not a failure.  Solvers run
+    through :func:`~repro.algorithms.registry.guarded_solve`: a crash or
+    a rejected safety certificate degrades through the fallback chain
+    instead of losing the cell, and every successful row carries the
+    certificate of the schedule it actually emitted.
 
     Spans are always captured in **isolation**: the unit's span tree goes
     only into the outcome document (and from there into the journal row),
@@ -102,7 +106,7 @@ def _exec_solve_cell(payload: Mapping[str, Any]) -> dict[str, Any]:
     span's attributes are set from the *same* stats dict stored in the
     row, which is what makes a trace file reconcile with the journal.
     """
-    from repro.algorithms.registry import get_solver
+    from repro.algorithms.registry import get_solver, guarded_solve
     from repro.engine import ThermalEngine
     from repro.errors import InfeasibleError
     from repro.obs import capture_spans, span
@@ -129,7 +133,7 @@ def _exec_solve_cell(payload: Mapping[str, Any]) -> dict[str, Any]:
             t_max_c=float(payload["t_max_c"]),
         ) as root:
             try:
-                result = spec.solve(engine, **params)
+                result = guarded_solve(spec, engine, **params)
             except InfeasibleError as exc:
                 stats = engine.stats_since(mark).as_dict()
                 outcome = {
@@ -144,11 +148,18 @@ def _exec_solve_cell(payload: Mapping[str, Any]) -> dict[str, Any]:
                     else engine.stats_since(mark)
                 )
                 stats = st.as_dict()
+                cert = result.certificate
                 outcome = {
                     "status": "ok",
                     "result": result_to_dict(result),
                     "stats": stats,
+                    "certificate": (
+                        cert.as_dict() if cert is not None else None
+                    ),
                 }
+                fallback = result.details.get("fallback")
+                if fallback is not None:
+                    root.set_attrs(fallback_hop=str(fallback.get("hop")))
             root.set_attrs(
                 status=outcome["status"],
                 ss_solves=stats["steady_state_solves"],

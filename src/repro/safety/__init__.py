@@ -1,0 +1,39 @@
+"""repro.safety — independent verification and graceful degradation.
+
+Three pillars, wired through the registry, runner, sim and CLI:
+
+* **certificates** (:func:`certify`, :class:`SafetyCertificate`) — every
+  result the solver registry emits is re-verified through a numerical
+  route different from the one the solver optimized with, and carries
+  the structured verdict;
+* **fallback chains** (:data:`FALLBACK_CHAIN`, consumed by
+  :func:`repro.algorithms.registry.guarded_solve`) — a solver crash or a
+  rejected certificate degrades AO -> neighbor rounding -> best constant
+  -> lowest-mode floor instead of losing the cell;
+* **fault injection** (:class:`FaultSpec`) — sensor noise/dropout, stuck
+  DVFS modes and ambient drift for the reactive closed loop and the
+  co-simulator, quantifying margin retained under perturbation.
+
+See ``docs/ROBUSTNESS.md`` for the full story.
+"""
+
+from repro.safety.certificate import (
+    DEFAULT_TOLERANCE,
+    SafetyCertificate,
+    certify,
+    claim_certificate,
+)
+from repro.safety.fallback import FALLBACK_CHAIN, run_fallback_hop
+from repro.safety.faults import FaultSpec, perturbed_peak, stuck_schedule
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "SafetyCertificate",
+    "certify",
+    "claim_certificate",
+    "FALLBACK_CHAIN",
+    "run_fallback_hop",
+    "FaultSpec",
+    "perturbed_peak",
+    "stuck_schedule",
+]

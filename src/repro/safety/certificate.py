@@ -1,0 +1,316 @@
+"""Independent safety certificates for scheduler results.
+
+The paper's value proposition is a *guarantee*: AO/PCO schedules provably
+never exceed ``T_max`` (Theorems 1-5).  Every solver in the registry,
+however, prices its candidates through the same eigenbasis machinery it
+optimizes with — a bug in the Theorem-1 fast path, an ill-conditioned
+``G - E_beta``, or a solver simply lying about its peak would go
+undetected.  :func:`certify` closes that loop: it re-derives the stable
+peak of the emitted schedule via a *different* numerical route than the
+solvers use (the MatEx-style analytic search with the step-up shortcut
+disabled, optionally cross-checked against the LSODA ODE oracle), checks
+the solver's structural claims (step-up shape, throughput accounting),
+and returns a structured :class:`SafetyCertificate` that the registry
+attaches to every :class:`~repro.algorithms.base.SchedulerResult`, the
+runner journals, and ``repro certify`` gates builds on.
+
+Layering: this module sits on the thermal/schedule/engine layers only —
+it must not import :mod:`repro.algorithms` (the registry imports *us*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+import numpy as np
+
+from repro.engine import ThermalEngine
+from repro.obs import METRICS
+from repro.schedule.periodic import PeriodicSchedule
+from repro.schedule.properties import is_step_up, throughput as schedule_throughput
+from repro.thermal.peak import peak_temperature, stepup_peak_temperature
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.platform import Platform
+
+__all__ = ["SafetyCertificate", "certify", "claim_certificate"]
+
+#: Default agreement tolerance between peak re-derivations (K).  The
+#: registry's parity tests hold independent peaks to ~5e-4 K; 0.05 K
+#: leaves two orders of magnitude of slack for grid-resolution noise
+#: while still catching any genuinely wrong peak claim.
+DEFAULT_TOLERANCE = 0.05
+
+#: One-sided slack for the throughput invariant (claims may sit *below*
+#: the raw schedule throughput — DVFS overhead only subtracts — but
+#: never meaningfully above it).
+THROUGHPUT_SLACK = 1e-6
+
+
+@dataclass(frozen=True)
+class SafetyCertificate:
+    """Outcome of an independent re-verification of one schedule.
+
+    Attributes
+    ----------
+    peak_theta:
+        Certified stable peak (K above ambient): the worst case over
+        every re-derivation route that ran.
+    theta_max:
+        The threshold the schedule was certified against.
+    margin:
+        ``theta_max - peak_theta`` — positive means certified headroom.
+    method_peaks:
+        Peak per verification route (``"claimed"``, ``"matex"``,
+        ``"stepup"``, ``"reference"``, ``"trace"``).
+    disagreement:
+        Spread (max - min) across ``method_peaks`` — the cross-check.
+    tolerance:
+        Agreement tolerance the certificate was issued under.
+    condition_number:
+        2-norm condition number of the effective conductance matrix
+        ``G - E_beta`` — a large value flags a platform whose thermal
+        solves are numerically fragile.
+    step_up:
+        Whether the schedule satisfies Definition 1 (voltage
+        non-decreasing per core), i.e. whether the Theorem-1 fast path
+        was even applicable to it.
+    independent:
+        True when at least one re-derivation ran a route different from
+        the solver's own claim (False for trace-only certificates of
+        closed-loop baselines, whose "schedule" is a summary artifact).
+    accepted:
+        The verdict: routes agree within tolerance, a feasibility claim
+        is backed by certified margin, and the throughput accounting is
+        consistent.  ``reasons`` lists every violated check otherwise.
+    reasons:
+        Human-readable labels of the violated checks (empty if accepted).
+    """
+
+    peak_theta: float
+    theta_max: float
+    margin: float
+    method_peaks: dict[str, float] = field(default_factory=dict)
+    disagreement: float = 0.0
+    tolerance: float = DEFAULT_TOLERANCE
+    condition_number: float = float("nan")
+    step_up: bool = False
+    independent: bool = True
+    accepted: bool = True
+    reasons: tuple[str, ...] = ()
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the *certified* peak respects the threshold."""
+        return self.margin >= -1e-9
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        verdict = "ACCEPTED" if self.accepted else "REJECTED"
+        routes = ", ".join(
+            f"{name}={value:.4f}" for name, value in self.method_peaks.items()
+        )
+        line = (
+            f"certificate {verdict}: peak={self.peak_theta:.4f} K, "
+            f"margin={self.margin:+.4f} K, "
+            f"disagreement={self.disagreement:.2e} K "
+            f"(tol {self.tolerance:g}; {routes}; "
+            f"cond(G-E)={self.condition_number:.1f})"
+        )
+        if self.reasons:
+            line += f" [{'; '.join(self.reasons)}]"
+        return line
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-friendly dump (journal rows, trace documents)."""
+        return {
+            "peak_theta": self.peak_theta,
+            "theta_max": self.theta_max,
+            "margin": self.margin,
+            "method_peaks": dict(self.method_peaks),
+            "disagreement": self.disagreement,
+            "tolerance": self.tolerance,
+            "condition_number": self.condition_number,
+            "step_up": self.step_up,
+            "independent": self.independent,
+            "accepted": self.accepted,
+            "reasons": list(self.reasons),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SafetyCertificate":
+        """Rebuild a certificate from :meth:`as_dict` output."""
+        return cls(
+            peak_theta=float(data["peak_theta"]),
+            theta_max=float(data["theta_max"]),
+            margin=float(data["margin"]),
+            method_peaks={
+                str(k): float(v)
+                for k, v in (data.get("method_peaks") or {}).items()
+            },
+            disagreement=float(data.get("disagreement", 0.0)),
+            tolerance=float(data.get("tolerance", DEFAULT_TOLERANCE)),
+            condition_number=float(data.get("condition_number", float("nan"))),
+            step_up=bool(data.get("step_up", False)),
+            independent=bool(data.get("independent", True)),
+            accepted=bool(data.get("accepted", True)),
+            reasons=tuple(str(r) for r in (data.get("reasons") or ())),
+        )
+
+
+def _count(cert: SafetyCertificate) -> SafetyCertificate:
+    METRICS.counter("safety.certificates").inc()
+    if not cert.accepted:
+        METRICS.counter("safety.certificates_rejected").inc()
+    return cert
+
+
+def certify(
+    engine: "Platform | ThermalEngine",
+    schedule: PeriodicSchedule,
+    theta_max: float | None = None,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    claimed_peak: float | None = None,
+    claimed_feasible: bool | None = None,
+    claimed_throughput: float | None = None,
+    grid_per_interval: int = 64,
+    reference: bool = False,
+    reference_samples: int = 64,
+) -> SafetyCertificate:
+    """Independently re-verify one schedule against ``theta_max``.
+
+    The primary route is the MatEx-style analytic extrema search with the
+    Theorem-1 step-up shortcut *disabled* — the solvers lean on that
+    shortcut, so running the general search exercises a genuinely
+    different code path over the same stable status.  For step-up
+    schedules the Theorem-1 value is added as a second cross-check, and
+    ``reference=True`` additionally runs the LSODA ODE oracle
+    (:func:`repro.thermal.reference.reference_peak` — slow by design;
+    reserve it for ``repro certify --reference`` and audits).
+
+    Parameters
+    ----------
+    engine:
+        The platform (or its engine) whose thermal model prices the
+        schedule.
+    theta_max:
+        Threshold to certify against; defaults to the platform's.
+    claimed_peak / claimed_feasible / claimed_throughput:
+        The solver's own claims.  The peak claim joins the cross-check
+        set; a feasibility claim must be backed by certified margin; the
+        throughput claim must not exceed the raw schedule throughput
+        (transition overhead only ever subtracts).
+    """
+    engine = ThermalEngine.ensure(engine)
+    if theta_max is None:
+        theta_max = engine.theta_max
+    theta_max = float(theta_max)
+
+    step_up = is_step_up(schedule)
+    peaks: dict[str, float] = {}
+    if claimed_peak is not None:
+        peaks["claimed"] = float(claimed_peak)
+    peaks["matex"] = float(
+        engine.general_peak(
+            schedule, grid_per_interval=grid_per_interval, stepup_fast_path=False
+        ).value
+    )
+    if step_up:
+        peaks["stepup"] = float(
+            stepup_peak_temperature(engine.model, schedule, check=False).value
+        )
+    if reference:
+        from repro.thermal.reference import reference_peak
+
+        peaks["reference"] = float(
+            reference_peak(
+                engine.model, schedule, samples_per_interval=reference_samples
+            )
+        )
+
+    certified = max(peaks.values())
+    disagreement = float(certified - min(peaks.values()))
+    margin = theta_max - certified
+
+    reasons: list[str] = []
+    if not np.isfinite(certified):
+        reasons.append("non-finite peak")
+    if disagreement > tolerance:
+        reasons.append(
+            f"peak routes disagree by {disagreement:.4f} K (> {tolerance:g})"
+        )
+    if claimed_feasible and margin < -tolerance:
+        reasons.append(
+            f"claimed feasible but certified margin is {margin:.4f} K"
+        )
+    if claimed_throughput is not None:
+        raw = schedule_throughput(schedule)
+        if claimed_throughput > raw + THROUGHPUT_SLACK:
+            reasons.append(
+                f"claimed throughput {claimed_throughput:.6f} exceeds the "
+                f"schedule's raw throughput {raw:.6f}"
+            )
+
+    return _count(
+        SafetyCertificate(
+            peak_theta=float(certified),
+            theta_max=theta_max,
+            margin=float(margin),
+            method_peaks=peaks,
+            disagreement=disagreement,
+            tolerance=float(tolerance),
+            condition_number=engine.condition_number(),
+            step_up=step_up,
+            independent=True,
+            accepted=not reasons,
+            reasons=tuple(reasons),
+        )
+    )
+
+
+def claim_certificate(
+    engine: "Platform | ThermalEngine",
+    claimed_peak: float,
+    theta_max: float | None = None,
+    *,
+    claimed_feasible: bool | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> SafetyCertificate:
+    """Certificate for a result whose schedule is *not* the artifact.
+
+    The reactive baseline's ``schedule`` field summarizes a closed-loop
+    simulation — re-deriving its peak from that pseudo-schedule would
+    verify the wrong object.  This records the trace-measured peak as a
+    non-independent certificate: the margin bookkeeping and feasibility
+    consistency check still apply, but no cross-route agreement can be
+    claimed (``independent=False``).
+    """
+    engine = ThermalEngine.ensure(engine)
+    if theta_max is None:
+        theta_max = engine.theta_max
+    theta_max = float(theta_max)
+    margin = theta_max - float(claimed_peak)
+    reasons: list[str] = []
+    if not np.isfinite(claimed_peak):
+        reasons.append("non-finite peak")
+    if claimed_feasible and margin < -tolerance:
+        reasons.append(
+            f"claimed feasible but trace margin is {margin:.4f} K"
+        )
+    return _count(
+        SafetyCertificate(
+            peak_theta=float(claimed_peak),
+            theta_max=theta_max,
+            margin=float(margin),
+            method_peaks={"trace": float(claimed_peak)},
+            disagreement=0.0,
+            tolerance=float(tolerance),
+            condition_number=engine.condition_number(),
+            step_up=False,
+            independent=False,
+            accepted=not reasons,
+            reasons=tuple(reasons),
+        )
+    )

@@ -1,0 +1,208 @@
+"""Injectable fault models for closed-loop and open-loop hardening runs.
+
+The reactive-DTM comparison (and the co-simulation engine) assume a
+perfect world: noiseless sensors that never miss a read, DVFS actuators
+that always obey, a constant ambient.  Real chips get none of that.
+:class:`FaultSpec` describes a perturbation scenario — sensor noise and
+dropout, a stuck DVFS mode, ambient drift — that
+:func:`repro.algorithms.reactive.reactive_throttling` injects into its
+sensing/actuation loop and :func:`repro.sim.engine.cosimulate` applies
+to its power timeline, quantifying how much margin a certified schedule
+retains when the environment misbehaves.
+
+The punchline the ``faults`` experiment demonstrates: an *offline*
+certificate (AO's) is immune to sensor faults — the schedule never reads
+a sensor — while the reactive governor's safety degrades with every
+perturbation knob.
+
+Layering: no imports from :mod:`repro.algorithms` (reactive imports us).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.engine import ThermalEngine
+from repro.errors import ConfigurationError
+from repro.schedule.intervals import StateInterval
+from repro.schedule.periodic import PeriodicSchedule
+
+__all__ = ["FaultSpec", "perturbed_peak", "stuck_schedule"]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault-injection scenario.
+
+    Attributes
+    ----------
+    sensor_noise_sigma:
+        Std-dev (K) of zero-mean Gaussian noise added to every sensor
+        reading.
+    sensor_dropout_prob:
+        Per-read, per-core probability that the sensor returns its
+        *previous* reading instead of a fresh one (a stale sample).
+    stuck_core:
+        Index of a core whose DVFS actuator is stuck (``None`` = none).
+    stuck_level:
+        Ladder level index the stuck core is pinned at (``-1`` = the
+        highest mode — the dangerous failure).
+    ambient_drift_k:
+        Ambient temperature rise (K) ramped in linearly over the run
+        horizon — the schedule's effective threshold shrinks by this
+        much by the end.
+    seed:
+        RNG seed; faults are deterministic given the spec.
+    """
+
+    sensor_noise_sigma: float = 0.0
+    sensor_dropout_prob: float = 0.0
+    stuck_core: int | None = None
+    stuck_level: int = -1
+    ambient_drift_k: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sensor_noise_sigma < 0:
+            raise ConfigurationError(
+                f"sensor_noise_sigma must be >= 0, got {self.sensor_noise_sigma}"
+            )
+        if not 0.0 <= self.sensor_dropout_prob <= 1.0:
+            raise ConfigurationError(
+                "sensor_dropout_prob must be in [0, 1], "
+                f"got {self.sensor_dropout_prob}"
+            )
+
+    @property
+    def any_sensor_fault(self) -> bool:
+        """Whether any sensing-path fault is active."""
+        return self.sensor_noise_sigma > 0 or self.sensor_dropout_prob > 0
+
+    @property
+    def any_active(self) -> bool:
+        """Whether the spec perturbs anything at all."""
+        return (
+            self.any_sensor_fault
+            or self.stuck_core is not None
+            or self.ambient_drift_k != 0.0
+        )
+
+    def rng(self) -> np.random.Generator:
+        """The deterministic generator driving this scenario."""
+        return np.random.default_rng(self.seed)
+
+    def perturb_reading(
+        self,
+        reading: np.ndarray,
+        previous: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """What the governor *sees* given the true core temperatures.
+
+        Dropout first (a stale sample carries no fresh noise), then
+        Gaussian noise on the reads that did land.
+        """
+        seen = np.asarray(reading, dtype=float).copy()
+        if self.sensor_dropout_prob > 0:
+            stale = rng.random(seen.shape[0]) < self.sensor_dropout_prob
+            seen[stale] = np.asarray(previous, dtype=float)[stale]
+            fresh = ~stale
+        else:
+            fresh = np.ones(seen.shape[0], dtype=bool)
+        if self.sensor_noise_sigma > 0:
+            seen[fresh] += rng.normal(
+                0.0, self.sensor_noise_sigma, int(fresh.sum())
+            )
+        return seen
+
+    def drift_at(self, fraction: float) -> float:
+        """Ambient rise (K) at ``fraction`` of the run horizon."""
+        return self.ambient_drift_k * min(max(fraction, 0.0), 1.0)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-friendly dump (journal rows, experiment records)."""
+        return {
+            "sensor_noise_sigma": self.sensor_noise_sigma,
+            "sensor_dropout_prob": self.sensor_dropout_prob,
+            "stuck_core": self.stuck_core,
+            "stuck_level": self.stuck_level,
+            "ambient_drift_k": self.ambient_drift_k,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        """Rebuild a spec from :meth:`as_dict` output (extras rejected)."""
+        known = {
+            "sensor_noise_sigma", "sensor_dropout_prob", "stuck_core",
+            "stuck_level", "ambient_drift_k", "seed",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault fields {sorted(unknown)}; known: {sorted(known)}"
+            )
+        kwargs = dict(data)
+        stuck = kwargs.get("stuck_core")
+        if stuck is not None:
+            kwargs["stuck_core"] = int(stuck)
+        return cls(**kwargs)
+
+    @classmethod
+    def coerce(cls, value: "FaultSpec | Mapping[str, Any] | None") -> "FaultSpec | None":
+        """Accept a spec, a plain mapping, or ``None`` (CLI/JSON inputs)."""
+        if value is None or isinstance(value, FaultSpec):
+            return value
+        return cls.from_dict(value)
+
+
+def stuck_schedule(
+    schedule: PeriodicSchedule, ladder, faults: FaultSpec
+) -> PeriodicSchedule:
+    """The schedule as executed with the stuck DVFS actuator applied.
+
+    The stuck core runs ``ladder.levels[stuck_level]`` in every interval
+    regardless of what the schedule asked for; other cores are untouched.
+    """
+    if faults.stuck_core is None:
+        return schedule
+    core = int(faults.stuck_core)
+    if not 0 <= core < schedule.n_cores:
+        raise ConfigurationError(
+            f"stuck_core {core} out of range for {schedule.n_cores} cores"
+        )
+    stuck_v = float(ladder.levels[faults.stuck_level])
+    intervals = tuple(
+        StateInterval(
+            length=iv.length,
+            voltages=tuple(
+                stuck_v if i == core else v for i, v in enumerate(iv.voltages)
+            ),
+        )
+        for iv in schedule.intervals
+    )
+    return PeriodicSchedule(intervals)
+
+
+def perturbed_peak(
+    engine,
+    schedule: PeriodicSchedule,
+    faults: FaultSpec,
+    grid_per_interval: int = 64,
+) -> float:
+    """Stable peak of ``schedule`` under the open-loop faults.
+
+    Sensor faults do not apply — an offline schedule never reads a
+    sensor (that immunity is the point).  A stuck DVFS mode rewrites the
+    executed schedule; ambient drift raises the whole trace by its full
+    amount (worst case over the horizon).
+    """
+    engine = ThermalEngine.ensure(engine)
+    executed = stuck_schedule(schedule, engine.ladder, faults)
+    peak = engine.general_peak(
+        executed, grid_per_interval=grid_per_interval, stepup_fast_path=False
+    ).value
+    return float(peak + faults.ambient_drift_k)

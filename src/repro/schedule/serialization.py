@@ -133,6 +133,11 @@ def result_to_dict(result: SchedulerResult) -> dict[str, Any]:
         "schedule": schedule_to_dict(result.schedule),
         "details": details,
         "stats": result.stats.as_dict() if result.stats is not None else None,
+        "certificate": (
+            result.certificate.as_dict()
+            if result.certificate is not None
+            else None
+        ),
     }
 
 
@@ -152,8 +157,10 @@ def result_from_dict(data: dict[str, Any]) -> SchedulerResult:
             f"(this library reads version {FORMAT_VERSION})"
         )
     from repro.engine import EngineStats
+    from repro.safety.certificate import SafetyCertificate
 
     stats_doc = data.get("stats")
+    cert_doc = data.get("certificate")
     try:
         return SchedulerResult(
             name=str(data["name"]),
@@ -164,6 +171,9 @@ def result_from_dict(data: dict[str, Any]) -> SchedulerResult:
             runtime_s=float(data.get("runtime_s", 0.0)),
             details=dict(data.get("details") or {}),
             stats=EngineStats.from_dict(stats_doc) if stats_doc else None,
+            certificate=(
+                SafetyCertificate.from_dict(cert_doc) if cert_doc else None
+            ),
         )
     except (KeyError, TypeError) as exc:
         raise ScheduleError(f"malformed result document: {exc}") from exc

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.safety.faults import FaultSpec, stuck_schedule
 from repro.schedule.builders import from_core_timelines
 from repro.schedule.intervals import MIN_INTERVAL
 from repro.schedule.periodic import PeriodicSchedule
@@ -51,6 +52,13 @@ class CoSimReport:
         Per-core fraction of time spent power-gated.
     horizon_s:
         The common horizon used for EDF and the masked thermal period.
+    faults:
+        The injected :class:`~repro.safety.faults.FaultSpec`, if any.
+    faulted_peak_theta:
+        Stable peak of the *nominal* schedule re-evaluated under the
+        injected faults (stuck DVFS core pinned, ambient drift added) —
+        the temperature the offline guarantee degrades to when the
+        platform misbehaves.  ``None`` when no faults were injected.
     """
 
     edf_reports: tuple[EDFReport, ...]
@@ -58,6 +66,8 @@ class CoSimReport:
     actual_peak_theta: float
     idle_fractions: np.ndarray
     horizon_s: float
+    faults: FaultSpec | None = None
+    faulted_peak_theta: float | None = None
 
     @property
     def all_deadlines_met(self) -> bool:
@@ -71,12 +81,15 @@ class CoSimReport:
 
     def summary(self) -> str:
         """One-line human-readable summary."""
-        return (
+        text = (
             f"cosim: deadlines {'OK' if self.all_deadlines_met else 'MISSED'}, "
             f"nominal peak {self.nominal_peak_theta:.2f} K, actual "
             f"{self.actual_peak_theta:.2f} K "
             f"(idle dividend {self.idle_dividend_theta:+.2f} K)"
         )
+        if self.faulted_peak_theta is not None:
+            text += f", faulted peak {self.faulted_peak_theta:.2f} K"
+        return text
 
 
 def _mask_timeline(
@@ -131,6 +144,8 @@ def cosimulate(
     schedule: PeriodicSchedule,
     tasks_per_core: list[list[PeriodicTask]],
     horizon_s: float | None = None,
+    faults: FaultSpec | dict | None = None,
+    ladder=None,
 ) -> CoSimReport:
     """Co-simulate EDF execution and temperature on one platform.
 
@@ -150,11 +165,25 @@ def cosimulate(
         pattern for the thermal stable status — exact when the horizon is
         a multiple of the task hyperperiod, an excellent approximation
         otherwise.
+    faults:
+        Optional :class:`~repro.safety.faults.FaultSpec` (or dict form).
+        The nominal schedule is re-evaluated under a stuck DVFS core
+        (requires ``ladder``) and full ambient drift; the result lands in
+        ``faulted_peak_theta``.  Sensor faults do not apply here — there
+        is no sensor in the offline loop, which is the point.
+    ladder:
+        The platform's :class:`~repro.platform.VoltageLadder`; only
+        needed when ``faults.stuck_core`` is set.
     """
     if len(tasks_per_core) != schedule.n_cores:
         raise ConfigurationError(
             f"tasks_per_core must have {schedule.n_cores} entries, "
             f"got {len(tasks_per_core)}"
+        )
+    faults = FaultSpec.coerce(faults)
+    if faults is not None and faults.stuck_core is not None and ladder is None:
+        raise ConfigurationError(
+            "cosimulate needs the platform ladder to pin a stuck DVFS core"
         )
     all_tasks = [t for core_tasks in tasks_per_core for t in core_tasks]
     if horizon_s is None:
@@ -183,10 +212,20 @@ def cosimulate(
     masked = from_core_timelines(timelines)
     nominal_peak = peak_temperature(model, schedule).value
     actual_peak = peak_temperature(model, masked).value
+    faulted_peak: float | None = None
+    if faults is not None and faults.any_active:
+        faulted = schedule
+        if faults.stuck_core is not None:
+            faulted = stuck_schedule(schedule, ladder, faults)
+        faulted_peak = float(
+            peak_temperature(model, faulted).value + faults.ambient_drift_k
+        )
     return CoSimReport(
         edf_reports=tuple(reports),
         nominal_peak_theta=float(nominal_peak),
         actual_peak_theta=float(actual_peak),
         idle_fractions=idle_fracs,
         horizon_s=float(horizon_s),
+        faults=faults,
+        faulted_peak_theta=faulted_peak,
     )

@@ -65,7 +65,7 @@ def solve_linear(mat: np.ndarray, rhs: np.ndarray) -> np.ndarray:
     rhs = np.asarray(rhs, dtype=float)
     try:
         return scipy.linalg.solve(mat, rhs)
-    except scipy.linalg.LinAlgError as exc:  # pragma: no cover - defensive
+    except scipy.linalg.LinAlgError as exc:
         raise ThermalModelError(f"singular linear system: {exc}") from exc
 
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -52,3 +54,21 @@ def platform3_no_overhead():
 def rng() -> np.random.Generator:
     """Deterministic RNG for workload generation."""
     return np.random.default_rng(20160816)
+
+
+@pytest.fixture(autouse=True)
+def strict_numerics():
+    """Escalate silent floating-point events when CI asks for it.
+
+    The ``strict-numerics`` CI job exports ``REPRO_STRICT_NUMERICS=1``
+    (alongside ``-W error::RuntimeWarning``), turning overflow, invalid
+    operations, and division-by-zero anywhere in the suite into hard
+    errors instead of silently propagating NaN/inf.  Underflow stays at
+    its default — gradual underflow of ``exp(lam * t)`` for large ``t``
+    is expected, correct behaviour in the thermal propagators.
+    """
+    if os.environ.get("REPRO_STRICT_NUMERICS") != "1":
+        yield
+        return
+    with np.errstate(over="raise", invalid="raise", divide="raise"):
+        yield

@@ -178,7 +178,7 @@ class TestRegistry:
     def test_all_ids_present(self):
         expected = {"table2", "table3", "fig2", "fig3", "fig4", "fig5",
                     "fig6", "fig7", "table5", "headline", "tsp", "reactive",
-                    "comparison"}
+                    "comparison", "faults"}
         assert expected == set(EXPERIMENTS)
 
     def test_runner_capable_experiments(self):

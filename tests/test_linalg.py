@@ -52,6 +52,22 @@ class TestSolveLinear:
         with pytest.raises(ThermalModelError):
             solve_linear(np.zeros((2, 2)), np.ones(2))
 
+    def test_rank_deficient_raises_chained(self):
+        # A deliberately defective system: rank-1, so LAPACK's LU hits a
+        # zero pivot.  The ThermalModelError must chain from scipy's
+        # LinAlgError (the except branch, not a pre-check).
+        rank1 = np.array([[1.0, 2.0], [2.0, 4.0]])
+        with pytest.raises(ThermalModelError, match="singular") as excinfo:
+            solve_linear(rank1, np.ones(2))
+        assert isinstance(excinfo.value.__cause__, scipy.linalg.LinAlgError)
+
+    def test_near_singular_raises(self):
+        # Identical columns up to float64 resolution: scipy's LU flags
+        # the zero pivot, we translate the exception type.
+        near = np.array([[1.0, 1.0], [1.0, 1.0 + 1e-17]])
+        with pytest.raises(ThermalModelError, match="singular"):
+            solve_linear(near, np.ones(2))
+
 
 class TestEigenExpm:
     def test_matches_scipy_expm(self, rng):

@@ -35,6 +35,10 @@ PUBLIC_SURFACE = sorted([
     "SOLVERS",
     "get_solver",
     "solve",
+    "guarded_solve",
+    "SafetyCertificate",
+    "certify",
+    "FaultSpec",
     "ao",
     "pco",
     "exs",
