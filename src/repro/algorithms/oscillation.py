@@ -35,6 +35,7 @@ __all__ = [
     "adjusted_high_ratios",
     "build_oscillating_schedule",
     "choose_m",
+    "choose_m_grid",
     "effective_throughput",
 ]
 
@@ -189,6 +190,11 @@ def choose_m(
         peaks = [r.value for r in engine.stepup_peak_batch(schedules)]
     else:
         peaks = [engine.stepup_peak(sched).value for sched in schedules]
+    return _select_m(candidates, schedules, peaks)
+
+
+def _select_m(candidates, schedules, peaks):
+    """Shared selection rule: first m whose peak strictly improves."""
     history: list[tuple[int, float]] = []
     best_m, best_peak, best_sched = 1, np.inf, None
     for m, sched, peak in zip(candidates, schedules, peaks):
@@ -197,6 +203,60 @@ def choose_m(
             best_m, best_peak, best_sched = m, peak, sched
     assert best_sched is not None
     return best_m, best_sched, history
+
+
+def choose_m_grid(
+    targets,
+    period: float,
+    m_cap: int = DEFAULT_M_CAP,
+    m_step: int = 1,
+) -> list[tuple[int, PeriodicSchedule, list[tuple[int, float]]]]:
+    """Run :func:`choose_m` for many (platform, plan) pairs in one grid call.
+
+    Parameters
+    ----------
+    targets:
+        Sequence of ``(platform_or_engine, plan)`` pairs.  Platforms may
+        differ in core count and thermal model; all scans share ``period``,
+        ``m_cap`` and ``m_step`` (the shape the comparison sweep needs).
+
+    Returns
+    -------
+    One ``(m_opt, schedule, history)`` triple per target, in input order
+    — identical to calling :func:`choose_m` per target, but every
+    candidate across every platform is priced through one
+    :func:`repro.thermal.grid.stepup_peak_temperature_grid` evaluation.
+    """
+    from repro.thermal.grid import stepup_peak_temperature_grid
+
+    targets = list(targets)
+    rows: list[tuple] = []  # (model, schedule) grid rows
+    spans: list[tuple[ThermalEngine, list[int], list[PeriodicSchedule]]] = []
+    for platform, plan in targets:
+        engine = ThermalEngine.ensure(platform)
+        m_max = max_m_bound(engine, plan, period, cap=m_cap)
+        candidates = list(range(1, m_max + 1, max(1, m_step)))
+        schedules = [
+            build_oscillating_schedule(
+                plan, adjusted_high_ratios(engine, plan, m, period), period, m
+            )
+            for m in candidates
+        ]
+        # Attribute the batched pricing to each target's engine so stats
+        # stay comparable with the per-target scalar path.
+        engine._count_batch(len(schedules))
+        spans.append((engine, candidates, schedules))
+        rows.extend((engine.model, sched) for sched in schedules)
+
+    peaks = [r.value for r in stepup_peak_temperature_grid(rows, check=False)]
+
+    out = []
+    offset = 0
+    for _engine, candidates, schedules in spans:
+        span_peaks = peaks[offset : offset + len(schedules)]
+        offset += len(schedules)
+        out.append(_select_m(candidates, schedules, span_peaks))
+    return out
 
 
 def effective_throughput(

@@ -316,8 +316,8 @@ def _cmd_certify(args: argparse.Namespace) -> int:
     from repro.engine import ThermalEngine
     from repro.errors import ConfigurationError, InfeasibleError
     from repro.platform import paper_platform
-    from repro.safety.certificate import certify as certify_schedule
-    from repro.safety.faults import FaultSpec, perturbed_peak
+    from repro.safety.certificate import certify_grid
+    from repro.safety.faults import FaultSpec, stuck_schedule
 
     names = args.solvers or list(CERTIFY_DEFAULT_SOLVERS)
     specs = []
@@ -349,7 +349,10 @@ def _cmd_certify(args: argparse.Namespace) -> int:
             print(f"certify: {exc}", file=sys.stderr)
             return 2
 
-    certified = rejected = fallbacks = 0
+    # Pass 1 — solve the whole sweep, collecting rows; the expensive
+    # re-derivations (--reference recertification, --faults perturbed
+    # peaks) are deferred so they can run grid-batched across platforms.
+    entries: list[dict] = []
     for n in core_counts:
         for lv in level_counts:
             for tm in t_max_values:
@@ -359,7 +362,7 @@ def _cmd_certify(args: argparse.Namespace) -> int:
                         **platform_kwargs,
                     )
                 )
-                print(f"platform: {n} cores, {lv} levels, T_max {tm} C")
+                header = f"platform: {n} cores, {lv} levels, T_max {tm} C"
                 for spec in specs:
                     kwargs = {
                         k: v for k, v in options.items() if k in spec.params
@@ -367,49 +370,103 @@ def _cmd_certify(args: argparse.Namespace) -> int:
                     if args.quick:
                         for key, value in spec.quick.items():
                             kwargs.setdefault(key, value)
+                    entry: dict = {
+                        "header": header, "engine": engine, "spec": spec,
+                    }
                     try:
                         result = guarded_solve(
                             spec, engine,
                             certify_tolerance=args.tolerance, **kwargs,
                         )
                     except InfeasibleError as exc:
-                        print(f"  {spec.name}: infeasible ({exc})")
-                        continue
-                    cert = result.certificate
-                    if args.reference and spec.schedule_is_artifact:
-                        # Re-derive with the LSODA ODE oracle as an extra
-                        # route; the stricter certificate is the verdict.
-                        cert_kwargs = (
-                            {} if args.tolerance is None
-                            else {"tolerance": args.tolerance}
-                        )
-                        cert = certify_schedule(
-                            engine,
-                            result.schedule,
-                            claimed_peak=result.peak_theta,
-                            claimed_feasible=result.feasible,
-                            claimed_throughput=result.throughput,
-                            reference=True,
-                            **cert_kwargs,
-                        )
-                    certified += 1
-                    print(f"  {spec.name}: {cert.summary()}")
-                    fallback = (result.details or {}).get("fallback")
-                    if fallback:
-                        fallbacks += 1
-                        print(
-                            f"    degraded via fallback hop "
-                            f"{fallback['hop']!r} ({fallback['failure']})"
-                        )
-                    if not cert.accepted:
-                        rejected += 1
-                    if faults is not None and spec.schedule_is_artifact:
-                        peak = perturbed_peak(engine, result.schedule, faults)
-                        margin = engine.theta_max - peak
-                        print(
-                            f"    under faults: peak {peak:.4f} K, "
-                            f"margin {margin:+.4f} K"
-                        )
+                        entry["infeasible"] = str(exc)
+                    else:
+                        entry["result"] = result
+                        entry["cert"] = result.certificate
+                    entries.append(entry)
+
+    solved = [e for e in entries if "result" in e]
+
+    # Pass 2 — LSODA-backed recertification of every real schedule in one
+    # certify_grid call (the analytic routes evaluate as a single grid;
+    # the oracle runs scalar with adaptive density).
+    if args.reference:
+        recert = [
+            e for e in solved if e["spec"].schedule_is_artifact
+        ]
+        cert_kwargs = (
+            {} if args.tolerance is None else {"tolerance": args.tolerance}
+        )
+        certs = certify_grid(
+            [
+                (
+                    e["engine"],
+                    e["result"].schedule,
+                    {
+                        "claimed_peak": e["result"].peak_theta,
+                        "claimed_feasible": e["result"].feasible,
+                        "claimed_throughput": e["result"].throughput,
+                    },
+                )
+                for e in recert
+            ],
+            reference=True,
+            **cert_kwargs,
+        )
+        for e, cert in zip(recert, certs):
+            e["cert"] = cert
+
+    # Pass 3 — perturbed peaks for every real schedule in one grid call.
+    if faults is not None:
+        from repro.thermal.grid import peak_temperature_grid
+
+        faulted = [e for e in solved if e["spec"].schedule_is_artifact]
+        if faulted:
+            results = peak_temperature_grid(
+                [
+                    (
+                        e["engine"].model,
+                        stuck_schedule(
+                            e["result"].schedule, e["engine"].ladder, faults
+                        ),
+                    )
+                    for e in faulted
+                ],
+                stepup_fast_path=False,
+            )
+            for e, res in zip(faulted, results):
+                e["faulted_peak"] = float(res.value + faults.ambient_drift_k)
+
+    # Pass 4 — report in sweep order.
+    certified = rejected = fallbacks = 0
+    last_header = None
+    for entry in entries:
+        if entry["header"] != last_header:
+            print(entry["header"])
+            last_header = entry["header"]
+        spec = entry["spec"]
+        if "infeasible" in entry:
+            print(f"  {spec.name}: infeasible ({entry['infeasible']})")
+            continue
+        result, cert = entry["result"], entry["cert"]
+        certified += 1
+        print(f"  {spec.name}: {cert.summary()}")
+        fallback = (result.details or {}).get("fallback")
+        if fallback:
+            fallbacks += 1
+            print(
+                f"    degraded via fallback hop "
+                f"{fallback['hop']!r} ({fallback['failure']})"
+            )
+        if not cert.accepted:
+            rejected += 1
+        if "faulted_peak" in entry:
+            peak = entry["faulted_peak"]
+            margin = entry["engine"].theta_max - peak
+            print(
+                f"    under faults: peak {peak:.4f} K, "
+                f"margin {margin:+.4f} K"
+            )
     print(
         f"\n[{certified} certificate(s): {certified - rejected} accepted, "
         f"{rejected} rejected, {fallbacks} via fallback]"

@@ -136,6 +136,9 @@ class EngineStats:
     batch_calls / batch_candidates / max_batch:
         Batched peak/stable-status calls, total candidates priced through
         them, and the largest single batch.
+    eigen_cache_hits / eigen_cache_misses:
+        Eigendecompositions served by the process-shared eigenbasis cache
+        vs. computed from scratch (:mod:`repro.util.eigcache`).
     phase_seconds:
         Wall time per named solver phase (``choose_m``, ``tpt``, ...).
     """
@@ -149,6 +152,8 @@ class EngineStats:
     batch_calls: int = 0
     batch_candidates: int = 0
     max_batch: int = 0
+    eigen_cache_hits: int = 0
+    eigen_cache_misses: int = 0
     phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -156,6 +161,12 @@ class EngineStats:
         """Fraction of steady-state requests served from the LRU."""
         total = self.steady_state_solves + self.steady_state_cache_hits
         return self.steady_state_cache_hits / total if total else 0.0
+
+    @property
+    def eigen_cache_hit_rate(self) -> float:
+        """Fraction of eigendecompositions served by the shared cache."""
+        total = self.eigen_cache_hits + self.eigen_cache_misses
+        return self.eigen_cache_hits / total if total else 0.0
 
     @property
     def mean_batch(self) -> float:
@@ -187,6 +198,12 @@ class EngineStats:
             f"{self.batch_calls} batched "
             f"({self.batch_candidates} candidates, max batch {self.max_batch})",
         ]
+        if self.eigen_cache_hits or self.eigen_cache_misses:
+            lines.append(
+                f"  eigenbasis cache    : {self.eigen_cache_hits} hits, "
+                f"{self.eigen_cache_misses} misses "
+                f"(hit rate {self.eigen_cache_hit_rate:.0%})"
+            )
         if self.phase_seconds:
             total = sum(self.phase_seconds.values())
             lines.append(f"  phases ({total * 1e3:.1f} ms total):")
@@ -206,6 +223,8 @@ class EngineStats:
             "batch_calls": self.batch_calls,
             "batch_candidates": self.batch_candidates,
             "max_batch": self.max_batch,
+            "eigen_cache_hits": self.eigen_cache_hits,
+            "eigen_cache_misses": self.eigen_cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
             "phase_seconds": dict(self.phase_seconds),
         }
@@ -223,6 +242,8 @@ class EngineStats:
             batch_calls=int(data.get("batch_calls", 0)),
             batch_candidates=int(data.get("batch_candidates", 0)),
             max_batch=int(data.get("max_batch", 0)),
+            eigen_cache_hits=int(data.get("eigen_cache_hits", 0)),
+            eigen_cache_misses=int(data.get("eigen_cache_misses", 0)),
             phase_seconds={
                 str(k): float(v)
                 for k, v in (data.get("phase_seconds") or {}).items()
@@ -248,6 +269,8 @@ class EngineStats:
             batch_calls=self.batch_calls + other.batch_calls,
             batch_candidates=self.batch_candidates + other.batch_candidates,
             max_batch=max(self.max_batch, other.max_batch),
+            eigen_cache_hits=self.eigen_cache_hits + other.eigen_cache_hits,
+            eigen_cache_misses=self.eigen_cache_misses + other.eigen_cache_misses,
             phase_seconds=phases,
         )
 
@@ -281,6 +304,7 @@ class ThermalEngine:
         self._phase_seconds: dict[str, float] = {}
         self._batch_histogram = METRICS.histogram("engine.batch_size")
         self._condition_number: float | None = None
+        self._hints: dict[tuple[str, Any], Any] = {}
         self._baseline = self.checkpoint()
 
     @classmethod
@@ -400,6 +424,29 @@ class ThermalEngine:
         return periodic_steady_state_batch(self.model, schedules)
 
     # ------------------------------------------------------------------
+    # precomputation hints
+    # ------------------------------------------------------------------
+
+    def set_hint(self, key: str, params_key: Any, value: Any) -> None:
+        """Stash a precomputed result for a solver phase to pick up.
+
+        Grid-batched dispatch (:mod:`repro.experiments.comparison`)
+        evaluates expensive phases — ``choose_m`` across a whole
+        (platform × schedule) grid — *before* the per-unit solver runs,
+        then injects the results here.  The solver body consumes them via
+        :meth:`take_hint` with the same ``(key, params_key)`` pair, so
+        the registry path (parameter validation, certificates, fallback
+        chains) stays byte-for-byte identical whether or not a hint was
+        planted.  Hints are one-shot: ``take_hint`` removes them, so a
+        retry after a failure recomputes honestly.
+        """
+        self._hints[(key, params_key)] = value
+
+    def take_hint(self, key: str, params_key: Any) -> Any:
+        """Pop a hint planted by :meth:`set_hint` (``None`` when absent)."""
+        return self._hints.pop((key, params_key), None)
+
+    # ------------------------------------------------------------------
     # peak-engine selection
     # ------------------------------------------------------------------
 
@@ -495,6 +542,8 @@ class ThermalEngine:
             "batch_calls": self._batch_calls,
             "batch_candidates": self._batch_candidates,
             "max_batch": self._max_batch,
+            "eig_cache_hits": model.eig_cache_hits,
+            "eig_cache_misses": model.eig_cache_misses,
             "phase_seconds": dict(self._phase_seconds),
         }
 
@@ -518,6 +567,12 @@ class ThermalEngine:
             batch_calls=now["batch_calls"] - checkpoint["batch_calls"],
             batch_candidates=now["batch_candidates"] - checkpoint["batch_candidates"],
             max_batch=now["max_batch"],
+            eigen_cache_hits=(
+                now["eig_cache_hits"] - checkpoint.get("eig_cache_hits", 0)
+            ),
+            eigen_cache_misses=(
+                now["eig_cache_misses"] - checkpoint.get("eig_cache_misses", 0)
+            ),
             phase_seconds=phases,
         )
 

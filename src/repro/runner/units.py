@@ -31,6 +31,8 @@ __all__ = [
     "WorkUnit",
     "EXECUTORS",
     "execute_unit",
+    "solve_cell_outcome",
+    "solve_cell_platform",
     "comparison_units",
     "canonical_json",
     "units_hash",
@@ -87,7 +89,23 @@ def units_hash(units: Sequence[WorkUnit]) -> str:
 # ----------------------------------------------------------------------
 
 
-def _exec_solve_cell(payload: Mapping[str, Any]) -> dict[str, Any]:
+def solve_cell_platform(payload: Mapping[str, Any]):
+    """Build the :class:`~repro.platform.Platform` a solve_cell unit runs on."""
+    from repro.platform import paper_platform
+
+    return paper_platform(
+        int(payload["n_cores"]),
+        n_levels=int(payload["n_levels"]),
+        t_max_c=float(payload["t_max_c"]),
+        tau=float(payload.get("tau", 5e-6)),
+    )
+
+
+def solve_cell_outcome(
+    payload: Mapping[str, Any],
+    engine=None,
+    mark: dict[str, Any] | None = None,
+) -> dict[str, Any]:
     """Run one registered solver on one platform configuration.
 
     Returns an ``{"status", "result", "stats", "certificate", "spans"}``
@@ -105,24 +123,29 @@ def _exec_solve_cell(payload: Mapping[str, Any]) -> dict[str, Any]:
     run inherits them from the journal.  The root ``unit/solve_cell``
     span's attributes are set from the *same* stats dict stored in the
     row, which is what makes a trace file reconcile with the journal.
+
+    ``engine`` / ``mark`` let grid-batched dispatch
+    (:func:`repro.experiments.comparison.grid_batch_executor`) pass in a
+    pre-hinted engine plus the checkpoint taken *before* its shared
+    precomputation, so the precompute work is attributed to the unit that
+    consumes it.
     """
     from repro.algorithms.registry import get_solver, guarded_solve
     from repro.engine import ThermalEngine
     from repro.errors import InfeasibleError
     from repro.obs import capture_spans, span
-    from repro.platform import paper_platform
     from repro.schedule.serialization import result_to_dict
 
-    platform = paper_platform(
-        int(payload["n_cores"]),
-        n_levels=int(payload["n_levels"]),
-        t_max_c=float(payload["t_max_c"]),
-        tau=float(payload.get("tau", 5e-6)),
-    )
-    engine = ThermalEngine(platform)
+    if engine is None:
+        engine = ThermalEngine(solve_cell_platform(payload))
     spec = get_solver(str(payload["algo"]))
     params = dict(payload.get("params") or {})
-    mark = engine.checkpoint()
+    # With a caller-provided mark the stats row must span from *that*
+    # checkpoint — it covers shared precompute (eigen resolution, grid
+    # m scans) done for this unit before the solver body ran.
+    span_from_mark = mark is not None
+    if mark is None:
+        mark = engine.checkpoint()
     outcome: dict[str, Any]
     with capture_spans(isolate=True) as captured:
         with span(
@@ -143,10 +166,10 @@ def _exec_solve_cell(payload: Mapping[str, Any]) -> dict[str, Any]:
                     "detail": str(exc),
                 }
             else:
-                st = (
-                    result.stats if result.stats is not None
-                    else engine.stats_since(mark)
-                )
+                if span_from_mark or result.stats is None:
+                    st = engine.stats_since(mark)
+                else:
+                    st = result.stats
                 stats = st.as_dict()
                 cert = result.certificate
                 outcome = {
@@ -170,6 +193,11 @@ def _exec_solve_cell(payload: Mapping[str, Any]) -> dict[str, Any]:
             )
     outcome["spans"] = [s.as_dict() for s in captured]
     return outcome
+
+
+def _exec_solve_cell(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Worker entry point for ``solve_cell`` units (fresh platform)."""
+    return solve_cell_outcome(payload)
 
 
 def _exec_probe(payload: Mapping[str, Any]) -> dict[str, Any]:

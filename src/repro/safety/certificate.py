@@ -21,7 +21,7 @@ it must not import :mod:`repro.algorithms` (the registry imports *us*).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 import numpy as np
 
@@ -34,7 +34,7 @@ from repro.thermal.peak import peak_temperature, stepup_peak_temperature
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.platform import Platform
 
-__all__ = ["SafetyCertificate", "certify", "claim_certificate"]
+__all__ = ["SafetyCertificate", "certify", "certify_grid", "claim_certificate"]
 
 #: Default agreement tolerance between peak re-derivations (K).  The
 #: registry's parity tests hold independent peaks to ~5e-4 K; 0.05 K
@@ -86,6 +86,11 @@ class SafetyCertificate:
         consistent.  ``reasons`` lists every violated check otherwise.
     reasons:
         Human-readable labels of the violated checks (empty if accepted).
+    reference_samples_used:
+        Per-interval sampling density the LSODA reference route actually
+        ran at (``None`` when the route did not run).  Adaptive
+        subsampling (see :func:`certify`) reduces it for schedules whose
+        certified margin is far from the threshold.
     """
 
     peak_theta: float
@@ -99,6 +104,7 @@ class SafetyCertificate:
     independent: bool = True
     accepted: bool = True
     reasons: tuple[str, ...] = ()
+    reference_samples_used: int | None = None
 
     @property
     def feasible(self) -> bool:
@@ -136,6 +142,7 @@ class SafetyCertificate:
             "independent": self.independent,
             "accepted": self.accepted,
             "reasons": list(self.reasons),
+            "reference_samples_used": self.reference_samples_used,
         }
 
     @classmethod
@@ -156,6 +163,11 @@ class SafetyCertificate:
             independent=bool(data.get("independent", True)),
             accepted=bool(data.get("accepted", True)),
             reasons=tuple(str(r) for r in (data.get("reasons") or ())),
+            reference_samples_used=(
+                int(data["reference_samples_used"])
+                if data.get("reference_samples_used") is not None
+                else None
+            ),
         )
 
 
@@ -166,70 +178,41 @@ def _count(cert: SafetyCertificate) -> SafetyCertificate:
     return cert
 
 
-def certify(
-    engine: "Platform | ThermalEngine",
-    schedule: PeriodicSchedule,
-    theta_max: float | None = None,
-    *,
-    tolerance: float = DEFAULT_TOLERANCE,
-    claimed_peak: float | None = None,
-    claimed_feasible: bool | None = None,
-    claimed_throughput: float | None = None,
-    grid_per_interval: int = 64,
-    reference: bool = False,
-    reference_samples: int = 64,
-) -> SafetyCertificate:
-    """Independently re-verify one schedule against ``theta_max``.
+def _reference_budget(
+    gap: float, tolerance: float, reference_samples: int
+) -> int:
+    """Adaptive per-interval sampling density for the LSODA oracle.
 
-    The primary route is the MatEx-style analytic extrema search with the
-    Theorem-1 step-up shortcut *disabled* — the solvers lean on that
-    shortcut, so running the general search exercises a genuinely
-    different code path over the same stable status.  For step-up
-    schedules the Theorem-1 value is added as a second cross-check, and
-    ``reference=True`` additionally runs the LSODA ODE oracle
-    (:func:`repro.thermal.reference.reference_peak` — slow by design;
-    reserve it for ``repro certify --reference`` and audits).
-
-    Parameters
-    ----------
-    engine:
-        The platform (or its engine) whose thermal model prices the
-        schedule.
-    theta_max:
-        Threshold to certify against; defaults to the platform's.
-    claimed_peak / claimed_feasible / claimed_throughput:
-        The solver's own claims.  The peak claim joins the cross-check
-        set; a feasibility claim must be backed by certified margin; the
-        throughput claim must not exceed the raw schedule throughput
-        (transition overhead only ever subtracts).
+    The reference route only needs to *resolve the comparison*, not the
+    trajectory: when the analytic routes already put the peak far from
+    both ``theta_max`` and each other, a coarse oracle trace suffices to
+    confirm agreement within ``tolerance``.  ``gap`` is the certified
+    margin tightness ``|theta_max - certified|`` from the analytic
+    routes; wide gaps quarter the density, moderate gaps halve it, and
+    tight calls (the ones the certificate actually hinges on) keep the
+    full budget.
     """
-    engine = ThermalEngine.ensure(engine)
-    if theta_max is None:
-        theta_max = engine.theta_max
-    theta_max = float(theta_max)
+    if gap >= 8.0 * tolerance:
+        return max(16, reference_samples // 4)
+    if gap >= 2.0 * tolerance:
+        return max(24, reference_samples // 2)
+    return reference_samples
 
-    step_up = is_step_up(schedule)
-    peaks: dict[str, float] = {}
-    if claimed_peak is not None:
-        peaks["claimed"] = float(claimed_peak)
-    peaks["matex"] = float(
-        engine.general_peak(
-            schedule, grid_per_interval=grid_per_interval, stepup_fast_path=False
-        ).value
-    )
-    if step_up:
-        peaks["stepup"] = float(
-            stepup_peak_temperature(engine.model, schedule, check=False).value
-        )
-    if reference:
-        from repro.thermal.reference import reference_peak
 
-        peaks["reference"] = float(
-            reference_peak(
-                engine.model, schedule, samples_per_interval=reference_samples
-            )
-        )
-
+def _assemble(
+    engine: ThermalEngine,
+    schedule: PeriodicSchedule,
+    theta_max: float,
+    peaks: dict[str, float],
+    *,
+    tolerance: float,
+    step_up: bool,
+    claimed_feasible: bool | None,
+    claimed_throughput: float | None,
+    reference_samples_used: int | None = None,
+) -> SafetyCertificate:
+    """Turn a route->peak map into a counted certificate (shared by the
+    scalar and grid entry points, so the checks cannot drift apart)."""
     certified = max(peaks.values())
     disagreement = float(certified - min(peaks.values()))
     margin = theta_max - certified
@@ -266,8 +249,202 @@ def certify(
             independent=True,
             accepted=not reasons,
             reasons=tuple(reasons),
+            reference_samples_used=reference_samples_used,
         )
     )
+
+
+def _reference_route(
+    engine: ThermalEngine,
+    schedule: PeriodicSchedule,
+    peaks: dict[str, float],
+    theta_max: float,
+    *,
+    tolerance: float,
+    reference_samples: int,
+    adaptive_reference: bool,
+) -> int:
+    """Run the LSODA oracle and add it to ``peaks``; returns the density."""
+    from repro.thermal.reference import reference_peak
+
+    samples = reference_samples
+    if adaptive_reference and peaks:
+        gap = abs(theta_max - max(peaks.values()))
+        samples = _reference_budget(gap, tolerance, reference_samples)
+    peaks["reference"] = float(
+        reference_peak(engine.model, schedule, samples_per_interval=samples)
+    )
+    return samples
+
+
+def certify(
+    engine: "Platform | ThermalEngine",
+    schedule: PeriodicSchedule,
+    theta_max: float | None = None,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    claimed_peak: float | None = None,
+    claimed_feasible: bool | None = None,
+    claimed_throughput: float | None = None,
+    grid_per_interval: int = 64,
+    reference: bool = False,
+    reference_samples: int = 64,
+    adaptive_reference: bool = True,
+) -> SafetyCertificate:
+    """Independently re-verify one schedule against ``theta_max``.
+
+    The primary route is the MatEx-style analytic extrema search with the
+    Theorem-1 step-up shortcut *disabled* — the solvers lean on that
+    shortcut, so running the general search exercises a genuinely
+    different code path over the same stable status.  For step-up
+    schedules the Theorem-1 value is added as a second cross-check, and
+    ``reference=True`` additionally runs the LSODA ODE oracle
+    (:func:`repro.thermal.reference.reference_peak`).  The oracle's
+    per-interval density is subsampled adaptively by default: the
+    analytic routes run first, and when their certified margin is far
+    from ``theta_max`` (``>= 8x`` / ``>= 2x`` the tolerance) the oracle
+    runs at a quarter / half of ``reference_samples`` — cheap enough for
+    the default CI gate while tight calls keep the full budget.  Pass
+    ``adaptive_reference=False`` for the fixed-density audit behavior.
+
+    Parameters
+    ----------
+    engine:
+        The platform (or its engine) whose thermal model prices the
+        schedule.
+    theta_max:
+        Threshold to certify against; defaults to the platform's.
+    claimed_peak / claimed_feasible / claimed_throughput:
+        The solver's own claims.  The peak claim joins the cross-check
+        set; a feasibility claim must be backed by certified margin; the
+        throughput claim must not exceed the raw schedule throughput
+        (transition overhead only ever subtracts).
+    """
+    engine = ThermalEngine.ensure(engine)
+    if theta_max is None:
+        theta_max = engine.theta_max
+    theta_max = float(theta_max)
+
+    step_up = is_step_up(schedule)
+    peaks: dict[str, float] = {}
+    if claimed_peak is not None:
+        peaks["claimed"] = float(claimed_peak)
+    peaks["matex"] = float(
+        engine.general_peak(
+            schedule, grid_per_interval=grid_per_interval, stepup_fast_path=False
+        ).value
+    )
+    if step_up:
+        peaks["stepup"] = float(
+            stepup_peak_temperature(engine.model, schedule, check=False).value
+        )
+    samples_used: int | None = None
+    if reference:
+        samples_used = _reference_route(
+            engine, schedule, peaks, theta_max,
+            tolerance=tolerance,
+            reference_samples=reference_samples,
+            adaptive_reference=adaptive_reference,
+        )
+
+    return _assemble(
+        engine, schedule, theta_max, peaks,
+        tolerance=tolerance,
+        step_up=step_up,
+        claimed_feasible=claimed_feasible,
+        claimed_throughput=claimed_throughput,
+        reference_samples_used=samples_used,
+    )
+
+
+def certify_grid(
+    items: "Sequence[tuple[Any, PeriodicSchedule] | tuple[Any, PeriodicSchedule, Mapping[str, Any]]]",
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    grid_per_interval: int = 64,
+    reference: bool = False,
+    reference_samples: int = 64,
+    adaptive_reference: bool = True,
+) -> list[SafetyCertificate]:
+    """Certify many ``(platform, schedule)`` pairs via the grid kernels.
+
+    Semantically identical to calling :func:`certify` per item — the same
+    route set, checks, and tolerances (both entry points assemble through
+    one shared helper) — but the analytic routes are evaluated for the
+    *whole* grid in single tensorized calls:
+    :func:`repro.thermal.grid.peak_temperature_grid` for the MatEx search
+    (step-up shortcut disabled, as in the scalar path) and
+    :func:`repro.thermal.grid.stepup_peak_temperature_grid` for the
+    Theorem-1 cross-check of the step-up rows.  The LSODA reference route
+    stays scalar (the ODE oracle is deliberately a different machine) but
+    inherits the adaptive density of :func:`certify`.
+
+    Each item is ``(platform_or_engine, schedule)`` or
+    ``(platform_or_engine, schedule, claims)`` where ``claims`` may carry
+    ``theta_max``, ``claimed_peak``, ``claimed_feasible``, and
+    ``claimed_throughput`` — the same knobs as :func:`certify`.
+
+    Returns one certificate per item, in order.
+    """
+    from repro.thermal.grid import (
+        peak_temperature_grid,
+        stepup_peak_temperature_grid,
+    )
+
+    prepared: list[tuple[ThermalEngine, PeriodicSchedule, dict[str, Any]]] = []
+    for item in items:
+        engine, schedule = item[0], item[1]
+        claims = dict(item[2]) if len(item) > 2 else {}
+        prepared.append((ThermalEngine.ensure(engine), schedule, claims))
+    if not prepared:
+        return []
+
+    rows = [(engine.model, schedule) for engine, schedule, _ in prepared]
+    matex = peak_temperature_grid(
+        rows, grid_per_interval=grid_per_interval, stepup_fast_path=False
+    )
+    step_flags = [is_step_up(schedule) for _, schedule, _ in prepared]
+    stepup_peaks: dict[int, float] = {}
+    stepup_rows = [i for i, flag in enumerate(step_flags) if flag]
+    if stepup_rows:
+        results = stepup_peak_temperature_grid(
+            [rows[i] for i in stepup_rows], check=False
+        )
+        stepup_peaks = {
+            i: float(res.value) for i, res in zip(stepup_rows, results)
+        }
+
+    certs: list[SafetyCertificate] = []
+    for i, (engine, schedule, claims) in enumerate(prepared):
+        theta_max = claims.get("theta_max")
+        theta_max = float(
+            engine.theta_max if theta_max is None else theta_max
+        )
+        peaks: dict[str, float] = {}
+        if claims.get("claimed_peak") is not None:
+            peaks["claimed"] = float(claims["claimed_peak"])
+        peaks["matex"] = float(matex[i].value)
+        if step_flags[i]:
+            peaks["stepup"] = stepup_peaks[i]
+        samples_used: int | None = None
+        if reference:
+            samples_used = _reference_route(
+                engine, schedule, peaks, theta_max,
+                tolerance=tolerance,
+                reference_samples=reference_samples,
+                adaptive_reference=adaptive_reference,
+            )
+        certs.append(
+            _assemble(
+                engine, schedule, theta_max, peaks,
+                tolerance=tolerance,
+                step_up=step_flags[i],
+                claimed_feasible=claims.get("claimed_feasible"),
+                claimed_throughput=claims.get("claimed_throughput"),
+                reference_samples_used=samples_used,
+            )
+        )
+    return certs
 
 
 def claim_certificate(

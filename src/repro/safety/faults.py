@@ -30,7 +30,7 @@ from repro.errors import ConfigurationError
 from repro.schedule.intervals import StateInterval
 from repro.schedule.periodic import PeriodicSchedule
 
-__all__ = ["FaultSpec", "perturbed_peak", "stuck_schedule"]
+__all__ = ["FaultSpec", "perturbed_peak", "perturbed_peak_batch", "stuck_schedule"]
 
 
 @dataclass(frozen=True)
@@ -206,3 +206,44 @@ def perturbed_peak(
         executed, grid_per_interval=grid_per_interval, stepup_fast_path=False
     ).value
     return float(peak + faults.ambient_drift_k)
+
+
+def perturbed_peak_batch(
+    engine,
+    schedule: PeriodicSchedule,
+    fault_specs,
+    grid_per_interval: int = 64,
+) -> list[float]:
+    """:func:`perturbed_peak` for a whole scenario sweep in one grid call.
+
+    Sensor-only scenarios leave the executed schedule untouched
+    (:func:`stuck_schedule` returns the input object), so the sweep
+    collapses to one grid row per *distinct* executed schedule — the
+    typical fault table prices two schedules, not six — and all rows go
+    through :func:`repro.thermal.grid.peak_temperature_grid` in a single
+    tensorized evaluation.  Returns one peak per spec, in order, each
+    offset by its own ambient drift.
+    """
+    from repro.thermal.grid import peak_temperature_grid
+
+    engine = ThermalEngine.ensure(engine)
+    specs = list(fault_specs)
+    rows: list[tuple[Any, PeriodicSchedule]] = []
+    row_index: dict[int, int] = {}
+    row_of: list[int] = []
+    for spec in specs:
+        executed = stuck_schedule(schedule, engine.ladder, spec)
+        key = id(executed)
+        if key not in row_index:
+            row_index[key] = len(rows)
+            rows.append((engine.model, executed))
+        row_of.append(row_index[key])
+    if not rows:
+        return []
+    results = peak_temperature_grid(
+        rows, grid_per_interval=grid_per_interval, stepup_fast_path=False
+    )
+    return [
+        float(results[row_of[i]].value + specs[i].ambient_drift_k)
+        for i in range(len(specs))
+    ]

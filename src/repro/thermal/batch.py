@@ -34,12 +34,13 @@ Entry points:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
 from scipy.optimize import brentq
 
-from repro.errors import ScheduleError
+from repro.errors import ConfigurationError, ScheduleError
 from repro.schedule.periodic import PeriodicSchedule
 from repro.schedule.properties import is_step_up
 from repro.thermal.model import ThermalModel
@@ -50,11 +51,42 @@ __all__ = [
     "periodic_steady_state_batch",
     "stepup_peak_temperature_batch",
     "peak_temperature_batch",
+    "grid_chunk_elements",
 ]
 
 #: Upper bound on the elements of one dense grid tensor ``(K, Z, G, n)``;
 #: larger batches are scanned in K-chunks to bound peak memory (~64 MB).
+#: Override per run with ``REPRO_GRID_CHUNK_ELEMENTS`` (see
+#: :func:`grid_chunk_elements`).
 GRID_CHUNK_ELEMENTS = 8_000_000
+
+
+def grid_chunk_elements() -> int:
+    """The effective chunk budget, honoring ``REPRO_GRID_CHUNK_ELEMENTS``.
+
+    The env override lets memory-constrained runs (or stress tests
+    forcing many tiny chunks) tune peak memory without editing code.
+    ``repro stats`` surfaces the effective value per run.
+
+    Raises
+    ------
+    ConfigurationError
+        If the override is set but not a positive integer.
+    """
+    raw = os.environ.get("REPRO_GRID_CHUNK_ELEMENTS", "").strip()
+    if not raw:
+        return GRID_CHUNK_ELEMENTS
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"REPRO_GRID_CHUNK_ELEMENTS must be an integer, got {raw!r}"
+        ) from exc
+    if value <= 0:
+        raise ConfigurationError(
+            f"REPRO_GRID_CHUNK_ELEMENTS must be positive, got {value}"
+        )
+    return value
 
 
 @dataclass(frozen=True)
@@ -218,7 +250,7 @@ def _grid_scan(
 def _grid_chunks(stack: _Stack, model: ThermalModel, grid: int):
     """Yield ``(chunk_slice, times, temps)`` bounding peak memory."""
     per_k = max(stack.n_pad * max(int(grid), 2) * model.n_nodes, 1)
-    step = max(1, GRID_CHUNK_ELEMENTS // per_k)
+    step = max(1, grid_chunk_elements() // per_k)
     for lo in range(0, stack.k, step):
         chunk = slice(lo, min(lo + step, stack.k))
         times, temps = _grid_scan(stack, model, grid, chunk)

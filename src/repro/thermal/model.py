@@ -84,6 +84,10 @@ class ThermalModel:
         self.ss_cache_hits = 0
         #: Instrumentation: voltage rows resolved via :meth:`steady_state_batch`.
         self.ss_batch_rows = 0
+        #: Instrumentation: eigendecompositions served by the shared cache.
+        self.eig_cache_hits = 0
+        #: Instrumentation: eigendecompositions computed from scratch.
+        self.eig_cache_misses = 0
 
     # ------------------------------------------------------------------
     # basic properties
@@ -101,8 +105,23 @@ class ThermalModel:
 
     @cached_property
     def eigen(self) -> EigenExpm:
-        """Cached eigendecomposition of ``A`` (real negative spectrum)."""
-        return EigenExpm(self.a, c_diag=self.c_diag)
+        """Cached eigendecomposition of ``A`` (real negative spectrum).
+
+        Resolved through the process-shared content-keyed eigenbasis cache
+        (:mod:`repro.util.eigcache`): models built for bitwise-identical
+        system matrices — e.g. sharded-runner units sweeping ``t_max`` or
+        power levels on one floorplan — reuse the factors instead of
+        re-running the O(n^3) decomposition.  Counters distinguish hits
+        (memory or disk) from fresh decompositions.
+        """
+        from repro.util.eigcache import shared_eigen
+
+        eigen, origin = shared_eigen(self.a, c_diag=self.c_diag)
+        if origin == "miss":
+            self.eig_cache_misses += 1
+        else:
+            self.eig_cache_hits += 1
+        return eigen
 
     @cached_property
     def slowest_time_constant(self) -> float:
@@ -182,6 +201,49 @@ class ThermalModel:
         rhs[self.network.core_nodes, :] = psi.T
         theta = scipy.linalg.cho_solve(self._g_cho, rhs)
         return theta[self.network.core_nodes, :].T
+
+    def steady_state_many(self, voltage_list) -> list[np.ndarray]:
+        """Full-node steady states for many voltage vectors at once.
+
+        The LRU-aware batch form of :meth:`steady_state` (which returns
+        all nodes, unlike :meth:`steady_state_batch`): memoized vectors
+        are served from the cache, the misses share a single Cholesky
+        solve, and every fresh result is memoized.  This is the
+        steady-state path of the grid kernels
+        (:mod:`repro.thermal.grid`), which dedup voltage vectors per
+        platform before calling.
+        """
+        out: list[np.ndarray | None] = [None] * len(voltage_list)
+        keys = []
+        miss: list[int] = []
+        for i, volts in enumerate(voltage_list):
+            key = tuple(
+                np.round(np.atleast_1d(np.asarray(volts, dtype=float)), 12)
+            )
+            keys.append(key)
+            cached = self._ss_cache.get(key)
+            if cached is not None:
+                self.ss_cache_hits += 1
+                self._ss_cache.move_to_end(key)
+                out[i] = cached
+            else:
+                miss.append(i)
+        if miss:
+            self.ss_solves += len(miss)
+            volts = np.asarray(
+                [np.atleast_1d(np.asarray(voltage_list[i], dtype=float)) for i in miss]
+            )
+            psi = np.asarray(self.power.psi(volts))
+            rhs = np.zeros((self.n_nodes, len(miss)))
+            rhs[self.network.core_nodes, :] = psi.T
+            theta = scipy.linalg.cho_solve(self._g_cho, rhs)
+            for j, i in enumerate(miss):
+                value = theta[:, j].copy()
+                if len(self._ss_cache) >= self.SS_CACHE_SIZE:
+                    self._ss_cache.popitem(last=False)
+                self._ss_cache[keys[i]] = value
+                out[i] = value
+        return out  # type: ignore[return-value]
 
     def propagate(self, theta0: np.ndarray, dt: float, voltages) -> np.ndarray:
         """Advance eq. (3) by ``dt`` seconds under constant voltages.

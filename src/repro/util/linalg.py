@@ -148,12 +148,72 @@ class EigenExpm:
                 f"(max eigenvalue {np.max(self.eigenvalues):.3e} >= 0)"
             )
 
+        self._init_runtime_state()
+
+    def _init_runtime_state(self) -> None:
+        """Per-instance caches and counters (never shared across instances)."""
         self._expm_cache: OrderedDict[float, np.ndarray] = OrderedDict()
         #: Instrumentation: vector propagations through ``expm(A t)``
         #: (scalar applications count 1, batched ones count per row).
         self.expm_applications = 0
         #: Instrumentation: dense propagators served from the LRU.
         self.expm_cache_hits = 0
+
+    def factors(self) -> dict[str, np.ndarray]:
+        """The serializable decomposition factors ``(A, lam, W, W^{-1})``.
+
+        This is what the process-shared eigenbasis cache persists
+        (:mod:`repro.util.eigcache`); :meth:`from_factors` is the inverse.
+        """
+        return {
+            "a": self.a,
+            "eigenvalues": self.eigenvalues,
+            "w": self.w,
+            "w_inv": self.w_inv,
+        }
+
+    @classmethod
+    def from_factors(
+        cls,
+        a: np.ndarray,
+        eigenvalues: np.ndarray,
+        w: np.ndarray,
+        w_inv: np.ndarray,
+    ) -> "EigenExpm":
+        """Rebuild an instance from cached factors, skipping the O(n^3) eigh.
+
+        Shapes and the Hurwitz property are re-validated (cheap), but the
+        factorization itself is trusted — callers must only feed factors
+        produced by :meth:`factors` for the *same* matrix (the eigenbasis
+        cache guarantees this by content-hashing ``a``).  The returned
+        instance has fresh counters and an empty ``expm`` LRU; the factor
+        arrays themselves may be shared read-only across instances.
+        """
+        a = np.asarray(a, dtype=float)
+        eigenvalues = np.asarray(eigenvalues, dtype=float)
+        w = np.asarray(w, dtype=float)
+        w_inv = np.asarray(w_inv, dtype=float)
+        n = a.shape[0] if a.ndim == 2 else -1
+        if a.ndim != 2 or a.shape != (n, n):
+            raise ThermalModelError(f"system matrix must be square, got {a.shape}")
+        if eigenvalues.shape != (n,) or w.shape != (n, n) or w_inv.shape != (n, n):
+            raise ThermalModelError(
+                "inconsistent eigen factors: "
+                f"lam {eigenvalues.shape}, W {w.shape}, W^-1 {w_inv.shape} "
+                f"for an {n}x{n} system"
+            )
+        if eigenvalues.size and np.max(eigenvalues) >= 0:
+            raise ThermalModelError(
+                "cached factors are not Hurwitz "
+                f"(max eigenvalue {np.max(eigenvalues):.3e} >= 0)"
+            )
+        obj = cls.__new__(cls)
+        obj.a = a
+        obj.eigenvalues = eigenvalues
+        obj.w = w
+        obj.w_inv = w_inv
+        obj._init_runtime_state()
+        return obj
 
     @property
     def n(self) -> int:
