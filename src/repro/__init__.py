@@ -24,7 +24,11 @@ The package implements the paper's complete stack:
   metrics, the machinery behind ``repro run --trace`` / ``repro stats``),
 * :mod:`repro.safety` — independent safety certificates
   (:func:`certify`), solver fallback chains (:func:`guarded_solve` lives
-  in the registry), and injectable fault models (:class:`FaultSpec`).
+  in the registry), and injectable fault models (:class:`FaultSpec`),
+* :mod:`repro.service` — the scheduling service core behind ``repro
+  serve``: :class:`SchedulerSession` (shared engines + the
+  content-addressed :class:`ScheduleCache`), request coalescing, and the
+  newline-delimited-JSON server.
 
 Quickstart::
 
@@ -70,6 +74,7 @@ from repro.workload import TaskSet, PeriodicTask, schedule_taskset
 from repro.sim import cosimulate
 from repro.experiments import run_experiment
 from repro.errors import ReproError
+from repro.service import ScheduleCache, SchedulerSession, default_session
 
 __version__ = "1.0.0"
 
@@ -123,5 +128,8 @@ __all__ = [
     "cosimulate",
     "run_experiment",
     "ReproError",
+    "SchedulerSession",
+    "ScheduleCache",
+    "default_session",
     "__version__",
 ]

@@ -105,8 +105,18 @@ def evaluate(
     on the Theorem-1 step-up engine and raises for non-step-up
     schedules.  ``grid_per_interval`` tunes the general search's
     within-interval sampling density.
+
+    Platforms (as opposed to pre-built engines) resolve through the
+    process-wide :class:`~repro.service.session.SchedulerSession`, so
+    repeated evaluations of the same physics share one engine's
+    steady-state and eigenbasis caches.
     """
-    engine = ThermalEngine.ensure(platform)
+    if isinstance(platform, ThermalEngine):
+        engine = platform
+    else:
+        from repro.service.session import default_session
+
+        engine = default_session().engine_for(platform)
     if general:
         kwargs: dict[str, Any] = {}
         if grid_per_interval is not None:

@@ -9,6 +9,8 @@
     repro solve <solver> [-o key=value] [--trace PATH]
     repro certify [solvers...] [--quick] [-o key=value] [--tolerance K]
                   [--reference] [--faults key=value]
+    repro serve [--host H] [--port P | --stdio] [--run-dir DIR]
+                [--max-batch N]
     repro stats <run-dir>
     repro list
     repro legacy <experiment> ...   (deprecated alias for `run`)
@@ -19,7 +21,12 @@ prints its result plus the thermal-engine instrumentation; ``repro
 certify`` sweeps solvers over a small platform grid through the guarded
 registry path (:func:`repro.algorithms.registry.guarded_solve`) and
 prints every :class:`~repro.safety.certificate.SafetyCertificate` —
-exiting 4 if any certificate is rejected, which makes it a CI gate;
+exiting 4 if any certificate is rejected, which makes it a CI gate —
+``-o platforms=paper,big_little`` extends the sweep to heterogeneous
+big.LITTLE power models; ``repro serve`` runs the scheduling service
+(:mod:`repro.service`): newline-delimited JSON requests over TCP or
+stdio, answered through the session-scoped engine LRU, the
+content-addressed schedule cache, and the request coalescer;
 ``repro stats`` summarizes a journaled run directory (unit statuses,
 run-level engine counters, certificate tallies, per-span wall-time
 table); ``repro list`` enumerates both registries.  The historical single-positional form
@@ -262,8 +269,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.algorithms.registry import SOLVERS, get_solver
-    from repro.engine import ThermalEngine
-    from repro.platform import paper_platform
+    from repro.service.session import default_session
 
     try:
         spec = get_solver(args.solver)
@@ -281,11 +287,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         for key, value in spec.quick.items():
             options.setdefault(key, value)
 
-    platform = paper_platform(**platform_kwargs)
-    engine = ThermalEngine(platform)
+    session = default_session()
     trace_sink = _open_trace(args.trace) if args.trace else None
     try:
-        result = spec.solve(engine, **options)
+        outcome = session.solve(platform_kwargs, spec, options)
     except Exception as exc:  # surface solver errors as a clean exit code
         print(f"{spec.name} failed: {exc}", file=sys.stderr)
         return 1
@@ -293,9 +298,14 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         if trace_sink is not None:
             _close_trace(trace_sink)
 
-    print(result.summary())
-    stats = result.stats if result.stats is not None else engine.stats()
-    print(stats.format())
+    if outcome.status == "infeasible":
+        print(f"{spec.name} failed: {outcome.detail}", file=sys.stderr)
+        return 1
+    print(outcome.result.summary())
+    if outcome.cached:
+        print(f"[served from schedule cache {outcome.cache_key}]")
+    if outcome.stats is not None:
+        print(outcome.stats.format())
     if trace_sink is not None:
         print(f"[trace written to {args.trace}]")
     return 0
@@ -311,13 +321,32 @@ def _as_tuple(value) -> tuple:
     return value if isinstance(value, tuple) else (value,)
 
 
+#: ``repro certify`` platform flavors: the homogeneous paper platform
+#: and its heterogeneous big.LITTLE variant (first half of the cores
+#: big) — certificates' cross-route check covers both power models.
+CERTIFY_PLATFORMS = ("paper", "big_little")
+
+
+def _certify_platform(flavor: str, n: int, lv: int, tm: float, **kwargs):
+    from repro.platform import paper_platform
+    from repro.power.heterogeneous import big_little_power_model
+
+    power = None
+    if flavor == "big_little":
+        power = big_little_power_model(
+            big_cores=list(range(max(1, int(n) // 2))), n_cores=int(n)
+        )
+    return paper_platform(
+        int(n), n_levels=int(lv), t_max_c=float(tm), power=power, **kwargs
+    )
+
+
 def _cmd_certify(args: argparse.Namespace) -> int:
     from repro.algorithms.registry import SOLVERS, get_solver, guarded_solve
-    from repro.engine import ThermalEngine
     from repro.errors import ConfigurationError, InfeasibleError
-    from repro.platform import paper_platform
     from repro.safety.certificate import certify_grid
     from repro.safety.faults import FaultSpec, stuck_schedule
+    from repro.service.session import default_session
 
     names = args.solvers or list(CERTIFY_DEFAULT_SOLVERS)
     specs = []
@@ -335,11 +364,21 @@ def _cmd_certify(args: argparse.Namespace) -> int:
     core_counts = _as_tuple(options.pop("core_counts", (2, 3)))
     level_counts = _as_tuple(options.pop("level_counts", (2,)))
     t_max_values = _as_tuple(options.pop("t_max_values", (65.0,)))
+    platforms = _as_tuple(options.pop("platforms", ("paper",)))
+    unknown_platforms = [p for p in platforms if p not in CERTIFY_PLATFORMS]
+    if unknown_platforms:
+        print(
+            f"unknown platform flavor(s) {unknown_platforms}; "
+            f"known: {', '.join(CERTIFY_PLATFORMS)}",
+            file=sys.stderr,
+        )
+        return 2
     platform_kwargs = {
         k: options.pop(k)
         for k in ("t_ambient_c", "tau", "topology")
         if k in options
     }
+    session = default_session()
 
     faults = None
     if args.faults:
@@ -352,38 +391,41 @@ def _cmd_certify(args: argparse.Namespace) -> int:
     # Pass 1 — solve the whole sweep, collecting rows; the expensive
     # re-derivations (--reference recertification, --faults perturbed
     # peaks) are deferred so they can run grid-batched across platforms.
+    cells = [
+        (n, lv, tm, str(flavor))
+        for n in core_counts
+        for lv in level_counts
+        for tm in t_max_values
+        for flavor in platforms
+    ]
     entries: list[dict] = []
-    for n in core_counts:
-        for lv in level_counts:
-            for tm in t_max_values:
-                engine = ThermalEngine(
-                    paper_platform(
-                        int(n), n_levels=int(lv), t_max_c=float(tm),
-                        **platform_kwargs,
-                    )
+    for n, lv, tm, flavor in cells:
+        engine = session.engine_for(
+            _certify_platform(flavor, int(n), int(lv), float(tm), **platform_kwargs)
+        )
+        suffix = "" if flavor == "paper" else f" [{flavor}]"
+        header = f"platform: {n} cores, {lv} levels, T_max {tm} C{suffix}"
+        for spec in specs:
+            kwargs = {
+                k: v for k, v in options.items() if k in spec.params
+            }
+            if args.quick:
+                for key, value in spec.quick.items():
+                    kwargs.setdefault(key, value)
+            entry: dict = {
+                "header": header, "engine": engine, "spec": spec,
+            }
+            try:
+                result = guarded_solve(
+                    spec, engine,
+                    certify_tolerance=args.tolerance, **kwargs,
                 )
-                header = f"platform: {n} cores, {lv} levels, T_max {tm} C"
-                for spec in specs:
-                    kwargs = {
-                        k: v for k, v in options.items() if k in spec.params
-                    }
-                    if args.quick:
-                        for key, value in spec.quick.items():
-                            kwargs.setdefault(key, value)
-                    entry: dict = {
-                        "header": header, "engine": engine, "spec": spec,
-                    }
-                    try:
-                        result = guarded_solve(
-                            spec, engine,
-                            certify_tolerance=args.tolerance, **kwargs,
-                        )
-                    except InfeasibleError as exc:
-                        entry["infeasible"] = str(exc)
-                    else:
-                        entry["result"] = result
-                        entry["cert"] = result.certificate
-                    entries.append(entry)
+            except InfeasibleError as exc:
+                entry["infeasible"] = str(exc)
+            else:
+                entry["result"] = result
+                entry["cert"] = result.certificate
+            entries.append(entry)
 
     solved = [e for e in entries if "result" in e]
 
@@ -472,6 +514,41 @@ def _cmd_certify(args: argparse.Namespace) -> int:
         f"{rejected} rejected, {fallbacks} via fallback]"
     )
     return 4 if rejected else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import ScheduleServer
+
+    server = ScheduleServer(
+        host=args.host,
+        port=args.port,
+        run_dir=args.run_dir,
+        max_batch=args.max_batch,
+    )
+    if args.stdio:
+        asyncio.run(server.serve_stdio())
+    else:
+
+        async def _run() -> None:
+            host, port = await server.start()
+            # Machine-readable first line: smoke scripts parse the port.
+            print(f"serving on {host}:{port}", flush=True)
+            await server.serve_until_shutdown()
+
+        try:
+            asyncio.run(_run())
+        except KeyboardInterrupt:
+            pass
+    stats = server.service_stats()
+    print(
+        f"[served {stats['served']} request(s), {stats['failed']} failed, "
+        f"{stats['coalescer']['coalesced_batches']} coalesced batch(es)]"
+    )
+    if args.run_dir:
+        print(f"[journal written to {args.run_dir} — see 'repro stats']")
+    return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -645,6 +722,40 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     p_cert.set_defaults(func=_cmd_certify)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help=(
+            "serve solve/evaluate/certify requests as newline-delimited "
+            "JSON (TCP or --stdio), with request coalescing and the "
+            "schedule cache"
+        ),
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0 = ephemeral; the bound port is printed)",
+    )
+    p_serve.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve stdin/stdout instead of TCP (one request per line)",
+    )
+    p_serve.add_argument(
+        "--run-dir",
+        metavar="DIR",
+        help="journal served requests into DIR (readable by 'repro stats')",
+    )
+    p_serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        metavar="N",
+        help="largest coalesced batch drained in one pass (default 256)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_stats = sub.add_parser(
         "stats", help="summarize a journaled run directory (spans + counters)"

@@ -304,7 +304,7 @@ class ThermalEngine:
         self._phase_seconds: dict[str, float] = {}
         self._batch_histogram = METRICS.histogram("engine.batch_size")
         self._condition_number: float | None = None
-        self._hints: dict[tuple[str, Any], Any] = {}
+        self._hints: dict[tuple[str, Any], list[Any]] = {}
         self._baseline = self.checkpoint()
 
     @classmethod
@@ -438,13 +438,22 @@ class ThermalEngine:
         the registry path (parameter validation, certificates, fallback
         chains) stays byte-for-byte identical whether or not a hint was
         planted.  Hints are one-shot: ``take_hint`` removes them, so a
-        retry after a failure recomputes honestly.
+        retry after a failure recomputes honestly.  Each ``(key,
+        params_key)`` pair holds a FIFO stack, so session-shared engines
+        can carry hints for several queued units with identical
+        parameters without one unit consuming another's precompute.
         """
-        self._hints[(key, params_key)] = value
+        self._hints.setdefault((key, params_key), []).append(value)
 
     def take_hint(self, key: str, params_key: Any) -> Any:
-        """Pop a hint planted by :meth:`set_hint` (``None`` when absent)."""
-        return self._hints.pop((key, params_key), None)
+        """Pop the oldest hint planted by :meth:`set_hint` (``None`` when absent)."""
+        stack = self._hints.get((key, params_key))
+        if not stack:
+            return None
+        value = stack.pop(0)
+        if not stack:
+            del self._hints[(key, params_key)]
+        return value
 
     # ------------------------------------------------------------------
     # peak-engine selection

@@ -252,8 +252,10 @@ def grid_batch_executor(
         choose_m_grid,
         plan_modes,
     )
-    from repro.runner.units import solve_cell_outcome, solve_cell_platform
+    from repro.runner.units import solve_cell_outcome
+    from repro.service.session import default_session
 
+    session = default_session()
     prepared: list[tuple[WorkUnit, Any, Any, tuple, Any]] = []
     for unit in units:
         if unit.kind != "solve_cell":
@@ -263,7 +265,16 @@ def grid_batch_executor(
             continue
         params = dict(payload.get("params") or {})
         try:
-            engine = ThermalEngine(solve_cell_platform(payload))
+            # Session engines: units for the same platform content share
+            # one engine (and its caches) instead of rebuilding it.
+            engine = session.engine_for(
+                {
+                    "n_cores": int(payload["n_cores"]),
+                    "n_levels": int(payload["n_levels"]),
+                    "t_max_c": float(payload["t_max_c"]),
+                    "tau": float(payload.get("tau", 5e-6)),
+                }
+            )
             # The checkpoint must precede the shared precompute so its
             # thermal work lands in this unit's stats row.
             mark = engine.checkpoint()
@@ -304,8 +315,17 @@ def grid_batch_executor(
             prepared[i][1].set_hint("choose_m", key, scan)
 
     handled: dict[str, tuple[dict[str, Any], float]] = {}
+    seen_engines: set[int] = set()
     for unit, engine, mark, _key, _plan in prepared:
         t0 = time.perf_counter()
+        # Session-shared engines: only the first unit on an engine keeps
+        # its prepare-time mark (attributing the shared precompute once);
+        # later units re-checkpoint here so their stats rows never count
+        # a sibling's precompute or solve work.
+        if id(engine) in seen_engines:
+            mark = engine.checkpoint()
+        else:
+            seen_engines.add(id(engine))
         try:
             outcome = solve_cell_outcome(unit.payload, engine=engine, mark=mark)
         except Exception:  # noqa: BLE001 - normal path retries this unit

@@ -97,6 +97,10 @@ class RunDirSummary:
     certificates_rejected: int = 0
     fallback_units: int = 0
     min_certified_margin: float | None = None
+    #: The ``service_metrics`` row a ``repro serve --run-dir`` journal
+    #: closes with (session/cache/coalescer counters); ``None`` for
+    #: ordinary sweeps.
+    service: dict[str, Any] | None = None
 
     @property
     def ratio_skipped_cells(self) -> int:
@@ -152,6 +156,27 @@ class RunDirSummary:
                 f"  ratio summaries skip {self.ratio_skipped_cells} "
                 "non-ok unit(s) (counted, not silent)"
             )
+        if self.service is not None:
+            session = self.service.get("session") or {}
+            cache = session.get("cache") or {}
+            coalescer = self.service.get("coalescer") or {}
+            hits = int(cache.get("memory_hits", 0)) + int(
+                cache.get("disk_hits", 0)
+            )
+            lines.append(
+                f"  service: {self.service.get('served', 0)} request(s) "
+                f"served, {self.service.get('failed', 0)} failed, "
+                f"{session.get('engines_built', 0)} engine(s) built; "
+                f"schedule cache {hits} hit(s), "
+                f"{cache.get('misses', 0)} miss(es)"
+            )
+            lines.append(
+                f"  coalescing: "
+                f"{coalescer.get('coalesced_batches', 0)} batched grid "
+                f"call(s) covering "
+                f"{coalescer.get('coalesced_requests', 0)} request(s), "
+                f"largest batch {coalescer.get('largest_batch', 0)}"
+            )
         lines.append(self._grid_chunk_line())
         lines += [
             self.stats.format(),
@@ -181,9 +206,19 @@ def run_dir_summary(run_dir: str | os.PathLike) -> RunDirSummary:
     stats = EngineStats()
     accepted = rejected = fallbacks = 0
     min_margin: float | None = None
+    service: dict[str, Any] | None = None
     for row in rows.values():
+        if row.get("kind") == "service_metrics":
+            # The closing counters row of a serve journal — metadata,
+            # not a served unit; keep it out of the status tallies.
+            service = dict(row.get("service") or {})
+            continue
         status = str(row.get("status", "?"))
         status_counts[status] = status_counts.get(status, 0) + 1
+        if row.get("fallback"):
+            # Serve journals flag fallback outcomes directly (their rows
+            # carry no result document).
+            fallbacks += 1
         if row.get("stats"):
             stats = stats.combine(EngineStats.from_dict(row["stats"]))
         cert = row.get("certificate")
@@ -215,4 +250,5 @@ def run_dir_summary(run_dir: str | os.PathLike) -> RunDirSummary:
         certificates_rejected=rejected,
         fallback_units=fallbacks,
         min_certified_margin=min_margin,
+        service=service,
     )

@@ -131,13 +131,24 @@ def solve_cell_outcome(
     consumes it.
     """
     from repro.algorithms.registry import get_solver, guarded_solve
-    from repro.engine import ThermalEngine
     from repro.errors import InfeasibleError
     from repro.obs import capture_spans, span
     from repro.schedule.serialization import result_to_dict
 
     if engine is None:
-        engine = ThermalEngine(solve_cell_platform(payload))
+        # Session-per-worker: identical cells in one worker share an
+        # engine (and its steady-state/eigen caches) instead of paying
+        # the platform build per unit.
+        from repro.service.session import default_session
+
+        engine = default_session().engine_for(
+            {
+                "n_cores": int(payload["n_cores"]),
+                "n_levels": int(payload["n_levels"]),
+                "t_max_c": float(payload["t_max_c"]),
+                "tau": float(payload.get("tau", 5e-6)),
+            }
+        )
     spec = get_solver(str(payload["algo"]))
     params = dict(payload.get("params") or {})
     # With a caller-provided mark the stats row must span from *that*

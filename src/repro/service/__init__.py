@@ -1,0 +1,53 @@
+"""repro.service — the session-scoped scheduling service core.
+
+The serving layer the ROADMAP's "scheduling as a service" item calls
+for, extracted so every consumer shares one machinery:
+
+* :class:`~repro.service.session.SchedulerSession` — one
+  :class:`~repro.engine.ThermalEngine` per platform content hash
+  (LRU-bounded), a content-addressed
+  :class:`~repro.service.cache.ScheduleCache`, and per-request stats
+  attribution; its only solve path is
+  :func:`~repro.algorithms.registry.guarded_solve`.
+* :class:`~repro.service.coalescer.RequestCoalescer` — concurrent
+  solve/evaluate/certify requests regrouped into single grid-kernel
+  calls (and deduplicated solves).
+* :class:`~repro.service.server.ScheduleServer` — the ``repro serve``
+  asyncio front-end: newline-delimited JSON over TCP or stdio, with
+  optional journaling that makes serve sessions first-class citizens of
+  ``repro stats``.
+
+In-process consumers go through
+:func:`~repro.service.session.default_session`; the refactored
+``repro.api.evaluate``, CLI solve/certify, sharded-runner workers and
+grid-batched dispatch all do.
+"""
+
+from repro.service.cache import (
+    ScheduleCache,
+    cache_enabled,
+    platform_hash,
+    schedule_cache_key,
+)
+from repro.service.coalescer import RequestCoalescer
+from repro.service.server import ScheduleServer, send_requests
+from repro.service.session import (
+    SchedulerSession,
+    SolveOutcome,
+    default_session,
+    reset_default_session,
+)
+
+__all__ = [
+    "ScheduleCache",
+    "ScheduleServer",
+    "SchedulerSession",
+    "SolveOutcome",
+    "RequestCoalescer",
+    "cache_enabled",
+    "default_session",
+    "platform_hash",
+    "reset_default_session",
+    "schedule_cache_key",
+    "send_requests",
+]

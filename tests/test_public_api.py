@@ -67,6 +67,9 @@ PUBLIC_SURFACE = sorted([
     "cosimulate",
     "run_experiment",
     "ReproError",
+    "SchedulerSession",
+    "ScheduleCache",
+    "default_session",
     "__version__",
 ])
 

@@ -286,7 +286,10 @@ class TestGridThroughRunner:
             EngineStats.from_dict(row["stats"]) for row in rows.values()
         )
         assert grid.report.stats == expected
-        assert expected.peak_evals > 0 and expected.steady_state_solves > 0
+        # Units share session-scoped engines, so a warm process may serve
+        # every steady state from cache — count both forms of work.
+        assert expected.peak_evals > 0
+        assert expected.steady_state_solves + expected.steady_state_cache_hits > 0
 
 
 def _wait_for_journal_rows(path: Path, n: int, timeout: float = 60.0) -> None:

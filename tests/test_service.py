@@ -1,0 +1,667 @@
+"""Tests for the scheduling service core (:mod:`repro.service`).
+
+The service contract under test:
+
+* the content-addressed schedule cache keys on the platform's *physics*
+  plus the full solver request — keys are stable across process
+  restarts, any parameter or tolerance change invalidates, and the
+  opt-in disk layer survives concurrent writers without torn documents;
+* cached and coalesced results are **identical** to direct
+  :func:`~repro.algorithms.registry.guarded_solve` calls (the
+  acceptance bound is 1e-9; the deterministic fields match exactly),
+  including rejected-certificate / crash fallback paths;
+* session-shared engines attribute per-request stats without double
+  counting, and the engine LRU stays bounded;
+* every result leaving the server carries an accepted
+  :class:`~repro.safety.certificate.SafetyCertificate` or an explicit
+  fallback record, and ``repro stats`` surfaces the serve session.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.algorithms.registry import get_solver, guarded_solve
+from repro.api import evaluate as api_evaluate, load_platform
+from repro.engine import ThermalEngine
+from repro.errors import InfeasibleError, SolverError
+from repro.platform import paper_platform
+from repro.power.heterogeneous import big_little_power_model
+from repro.schedule.serialization import (
+    result_to_dict,
+    schedule_to_dict,
+)
+from repro.service import (
+    RequestCoalescer,
+    ScheduleCache,
+    ScheduleServer,
+    SchedulerSession,
+    cache_enabled,
+    platform_hash,
+    reset_default_session,
+    schedule_cache_key,
+    send_requests,
+)
+
+SRC_DIR = Path(__file__).resolve().parents[1] / "src"
+
+SPEC2 = {"n_cores": 2, "n_levels": 2, "t_max_c": 65.0}
+SPEC3 = {"n_cores": 3, "n_levels": 2, "t_max_c": 65.0}
+
+
+def _deterministic(doc: dict) -> dict:
+    """The timing-free fields of a result document (bitwise comparable)."""
+    return {
+        "name": doc["name"],
+        "throughput": doc["throughput"],
+        "peak_theta": doc["peak_theta"],
+        "feasible": doc["feasible"],
+        "schedule": doc["schedule"],
+        "certificate": doc["certificate"],
+        "fallback": (doc.get("details") or {}).get("fallback"),
+    }
+
+
+def _direct_solve_doc(spec_dict: dict, solver: str, params: dict) -> dict:
+    """Reference: guarded_solve on a fresh engine, as a wire document."""
+    engine = ThermalEngine(load_platform(spec_dict))
+    result = guarded_solve(get_solver(solver), engine, **params)
+    return result_to_dict(result)
+
+
+@pytest.fixture()
+def session() -> SchedulerSession:
+    """A fresh session with a memory-only cache (no disk, no globals)."""
+    return SchedulerSession(cache=ScheduleCache(directory=None))
+
+
+@pytest.fixture(autouse=True)
+def _isolated_default_session():
+    """Tests here must not leak warm default-session state across tests."""
+    reset_default_session()
+    yield
+    reset_default_session()
+
+
+class TestPlatformHash:
+    def test_same_content_same_hash(self):
+        a = platform_hash(load_platform(SPEC2))
+        b = platform_hash(load_platform(dict(SPEC2)))
+        assert a == b and len(a) == 32
+
+    def test_physics_changes_hash(self):
+        base = platform_hash(load_platform(SPEC2))
+        assert platform_hash(load_platform(dict(SPEC2, t_max_c=55.0))) != base
+        assert platform_hash(load_platform(dict(SPEC2, n_cores=3))) != base
+        assert platform_hash(load_platform(dict(SPEC2, tau=1e-5))) != base
+
+    def test_big_little_never_collides_with_homogeneous(self):
+        base = paper_platform(2, n_levels=2, t_max_c=65.0)
+        hetero = paper_platform(
+            2, n_levels=2, t_max_c=65.0,
+            power=big_little_power_model(big_cores=[0], n_cores=2),
+        )
+        assert platform_hash(base) != platform_hash(hetero)
+
+
+class TestScheduleCacheKey:
+    def test_any_param_change_invalidates(self):
+        phash = platform_hash(load_platform(SPEC2))
+        base = schedule_cache_key(phash, "AO", {"m_cap": 8}, 0.05)
+        assert schedule_cache_key(phash, "AO", {"m_cap": 16}, 0.05) != base
+        assert schedule_cache_key(phash, "AO", {"m_cap": 8}, 0.01) != base
+        assert schedule_cache_key(phash, "AO", {"m_cap": 8}, None) != base
+        assert schedule_cache_key(phash, "PCO", {"m_cap": 8}, 0.05) != base
+
+    def test_param_spelling_is_canonicalized(self):
+        phash = platform_hash(load_platform(SPEC2))
+        a = schedule_cache_key(phash, "AO", {"shift_grid": (4, 8)}, None)
+        b = schedule_cache_key(phash, "AO", {"shift_grid": [4, 8]}, None)
+        assert a == b
+
+    def test_key_stable_across_process_restart(self):
+        """The on-disk layer is only sound if a new process derives the
+        same keys — sha256 over canonical JSON, no per-process salt."""
+        spec_json = json.dumps(SPEC2)
+        code = (
+            "import json, sys\n"
+            "from repro.api import load_platform\n"
+            "from repro.service import platform_hash, schedule_cache_key\n"
+            f"spec = json.loads({spec_json!r})\n"
+            "phash = platform_hash(load_platform(spec))\n"
+            "print(phash)\n"
+            "print(schedule_cache_key(phash, 'AO', {'m_cap': 8}, 0.05))\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env={"PYTHONPATH": str(SRC_DIR), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        phash_line, key_line = proc.stdout.split()
+        phash = platform_hash(load_platform(SPEC2))
+        assert phash_line == phash
+        assert key_line == schedule_cache_key(phash, "AO", {"m_cap": 8}, 0.05)
+
+
+class TestScheduleCache:
+    DOC = {"status": "ok", "result": None, "detail": "d"}
+
+    def test_memory_roundtrip_and_counters(self):
+        cache = ScheduleCache(directory=None)
+        assert cache.get("k" * 32) is None
+        cache.put("k" * 32, dict(self.DOC))
+        assert cache.get("k" * 32) == self.DOC
+        stats = cache.stats()
+        assert stats["memory_hits"] == 1 and stats["misses"] == 1
+        assert stats["writes"] == 1 and stats["directory"] is None
+
+    def test_memory_lru_bound(self):
+        cache = ScheduleCache(directory=None, memory_size=2)
+        for i in range(4):
+            cache.put(f"key{i}", dict(self.DOC, detail=str(i)))
+        assert len(cache) == 2
+        assert cache.get("key0") is None and cache.get("key3") is not None
+
+    def test_disk_roundtrip_across_instances(self, tmp_path):
+        first = ScheduleCache(directory=tmp_path)
+        first.put("a" * 32, dict(self.DOC))
+        second = ScheduleCache(directory=tmp_path)
+        assert second.get("a" * 32) == self.DOC
+        assert second.stats()["disk_hits"] == 1
+        # Promoted to memory: the next hit never touches the disk.
+        assert second.get("a" * 32) == self.DOC
+        assert second.stats()["memory_hits"] == 1
+
+    def test_foreign_or_torn_documents_degrade_to_miss(self, tmp_path):
+        cache = ScheduleCache(directory=tmp_path)
+        (tmp_path / ("b" * 32 + ".json")).write_text("{torn")
+        assert cache.get("b" * 32) is None
+        (tmp_path / ("c" * 32 + ".json")).write_text(
+            json.dumps({"format": 999, "key": "c" * 32, "outcome": self.DOC})
+        )
+        assert cache.get("c" * 32) is None
+        (tmp_path / ("d" * 32 + ".json")).write_text(
+            json.dumps({"format": 1, "key": "WRONG", "outcome": self.DOC})
+        )
+        assert cache.get("d" * 32) is None
+
+    def test_concurrent_writers_never_tear(self, tmp_path):
+        """Many writers on one key: the winner's document is intact."""
+        key = "e" * 32
+        docs = [dict(self.DOC, detail=f"writer-{i}") for i in range(64)]
+
+        def write(doc):
+            ScheduleCache(directory=tmp_path).put(key, doc)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(write, docs))
+        final = ScheduleCache(directory=tmp_path).get(key)
+        assert final in docs
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULE_CACHE", "0")
+        assert not cache_enabled()
+        monkeypatch.delenv("REPRO_SCHEDULE_CACHE")
+        assert cache_enabled()
+
+
+class TestSession:
+    def test_solve_matches_direct_guarded_solve(self, session):
+        outcome = session.solve(SPEC2, "AO", {"m_cap": 8})
+        direct = _direct_solve_doc(SPEC2, "AO", {"m_cap": 8})
+        assert outcome.status == "ok" and not outcome.cached
+        assert _deterministic(result_to_dict(outcome.result)) == _deterministic(direct)
+        assert outcome.certificate is not None and outcome.certificate.accepted
+
+    def test_repeat_request_is_served_from_cache_bitwise(self, session):
+        first = session.solve(SPEC2, "AO", {"m_cap": 8})
+        second = session.solve(SPEC2, "AO", {"m_cap": 8})
+        assert second.cached and not first.cached
+        assert second.cache_key == first.cache_key
+        # The cached outcome rebuilds from the stored wire document —
+        # JSON float64 round-trips are exact, so this is bitwise.
+        assert result_to_dict(second.result) == result_to_dict(first.result)
+        assert second.stats is None  # no thermal work ran
+        assert session.cache_hits == 1
+
+    def test_param_change_misses_the_cache(self, session):
+        session.solve(SPEC2, "AO", {"m_cap": 8})
+        other = session.solve(SPEC2, "AO", {"m_cap": 16})
+        assert not other.cached and session.cache_hits == 0
+
+    def test_infeasible_is_an_answer_and_is_cached(self, session):
+        spec = dict(SPEC3, t_max_c=37.0)
+        first = session.solve(spec, "EXS", {})
+        second = session.solve(spec, "EXS", {})
+        assert first.status == "infeasible" and first.result is None
+        assert second.status == "infeasible" and second.cached
+        assert second.detail == first.detail
+
+    def test_unknown_param_raises_before_the_guarded_path(self, session):
+        with pytest.raises(SolverError, match="does not accept"):
+            session.solve(SPEC2, "EXS", {"m_cap": 8})
+        # A malformed request is not a solver failure: nothing was
+        # counted, nothing was cached.
+        assert session.solve_requests == 0 and len(session.cache) == 0
+
+    def test_engine_lru_is_bounded(self):
+        session = SchedulerSession(
+            max_engines=2, cache=ScheduleCache(directory=None)
+        )
+        for n in (2, 3, 6):
+            session.engine_for({"n_cores": n, "n_levels": 2, "t_max_c": 65.0})
+        assert session.n_engines == 2
+        assert session.engines_built == 3 and session.engines_evicted == 1
+
+    def test_engines_are_shared_by_content(self, session):
+        a = session.engine_for(SPEC2)
+        b = session.engine_for(dict(SPEC2))
+        c = session.engine_for(load_platform(SPEC2))
+        assert a is b is c
+
+    def test_shared_engine_stats_never_double_count(self, session):
+        """Satellite: per-request ``stats_since`` checkpointing — the sum
+        of per-request stats equals the engine's total work."""
+        outcomes = [
+            session.solve(SPEC2, "AO", {"m_cap": 8}, use_cache=False),
+            session.solve(SPEC2, "AO", {"m_cap": 16}, use_cache=False),
+            session.solve(SPEC2, "PCO", {"m_cap": 8}, use_cache=False),
+        ]
+        engine = session.engine_for(SPEC2)
+        total = engine.stats()
+        for field in (
+            "steady_state_solves",
+            "steady_state_cache_hits",
+            "peak_evals",
+            "eigen_cache_hits",
+            "eigen_cache_misses",
+        ):
+            per_request = sum(getattr(o.stats, field) for o in outcomes)
+            assert per_request == getattr(total, field), field
+
+    def test_cached_solve_does_zero_thermal_work(self, session):
+        session.solve(SPEC2, "AO", {"m_cap": 8})
+        engine = session.engine_for(SPEC2)
+        mark = engine.checkpoint()
+        session.solve(SPEC2, "AO", {"m_cap": 8})
+        since = engine.stats_since(mark)
+        assert since.peak_evals == 0 and since.steady_state_solves == 0
+
+    def test_cache_disabled_by_env(self, session, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULE_CACHE", "0")
+        session.solve(SPEC2, "AO", {"m_cap": 8})
+        again = session.solve(SPEC2, "AO", {"m_cap": 8})
+        assert not again.cached and session.cache_hits == 0
+        assert len(session.cache) == 0
+
+    def test_fallback_outcome_survives_the_cache(self, session):
+        """A degraded solve caches its fallback record and certificate."""
+
+        def raiser(*_a, **_k):
+            raise SolverError("injected crash for the service test")
+
+        crashing = dataclasses.replace(get_solver("AO"), func=raiser)
+        first = session.solve(SPEC2, crashing, {"m_cap": 8})
+        second = session.solve(SPEC2, crashing, {"m_cap": 8})
+        direct = guarded_solve(
+            dataclasses.replace(get_solver("AO"), func=raiser),
+            ThermalEngine(load_platform(SPEC2)),
+            m_cap=8,
+        )
+        assert second.cached
+        for outcome in (first, second):
+            fallback = outcome.result.details["fallback"]
+            assert fallback["requested"] == "AO"
+            assert fallback == direct.details["fallback"]
+            assert outcome.certificate.accepted
+        assert _deterministic(result_to_dict(second.result)) == _deterministic(
+            result_to_dict(direct)
+        )
+
+    def test_evaluate_many_matches_scalar_evaluate(self, session):
+        schedules = [
+            session.solve(spec, "AO", {"m_cap": 8}).result.schedule
+            for spec in (SPEC2, SPEC3)
+        ]
+        batched = session.evaluate_many(
+            list(zip((SPEC2, SPEC3), schedules))
+        )
+        for spec, schedule, ev in zip((SPEC2, SPEC3), schedules, batched):
+            scalar = api_evaluate(ThermalEngine(load_platform(spec)), schedule)
+            assert ev.peak_theta == pytest.approx(scalar.peak_theta, abs=1e-9)
+            assert ev.feasible == scalar.feasible
+            assert ev.throughput == scalar.throughput
+
+    def test_certify_many_mixed_platforms(self, session):
+        results = [
+            session.solve(spec, "AO", {"m_cap": 8}).result
+            for spec in (SPEC2, SPEC3)
+        ]
+        certs = session.certify_many(
+            [
+                (spec, r.schedule, {"claimed_peak": r.peak_theta})
+                for spec, r in zip((SPEC2, SPEC3), results)
+            ]
+        )
+        assert all(c.accepted for c in certs)
+
+
+class TestHeterogeneousCertificates:
+    """Satellite: the cross-route certificate check covers big.LITTLE."""
+
+    def _hetero_engine(self, n_cores=2):
+        return ThermalEngine(
+            paper_platform(
+                n_cores, n_levels=2, t_max_c=65.0,
+                power=big_little_power_model(
+                    big_cores=list(range(max(1, n_cores // 2))),
+                    n_cores=n_cores,
+                ),
+            )
+        )
+
+    def test_guarded_solve_certifies_big_little(self):
+        engine = self._hetero_engine()
+        result = guarded_solve(get_solver("AO"), engine, m_cap=8)
+        cert = result.certificate
+        assert cert is not None and cert.accepted and cert.independent
+        assert len(cert.method_peaks) >= 2
+
+    def test_session_serves_big_little(self, session):
+        platform = paper_platform(
+            2, n_levels=2, t_max_c=65.0,
+            power=big_little_power_model(big_cores=[0], n_cores=2),
+        )
+        outcome = session.solve(platform, "AO", {"m_cap": 8})
+        assert outcome.status == "ok" and outcome.certificate.accepted
+        again = session.solve(platform, "AO", {"m_cap": 8})
+        assert again.cached
+
+    def test_cli_certify_big_little_grid(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "certify", "AO", "--quick",
+            "-o", "core_counts=2",
+            "-o", "t_max_values=65",
+            "-o", "platforms=paper,big_little",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[big_little]" in out
+        assert "rejected" in out and " 0 rejected" in out
+
+    def test_cli_certify_rejects_unknown_flavor(self, capsys):
+        from repro.cli import main
+
+        assert main(["certify", "AO", "-o", "platforms=vulcan"]) == 2
+        assert "unknown platform flavor" in capsys.readouterr().err
+
+
+class TestCoalescer:
+    def _solve_request(self, spec=SPEC2, solver="AO", m_cap=8):
+        return {
+            "op": "solve",
+            "platform": dict(spec),
+            "solver": solver,
+            "params": {"m_cap": m_cap},
+        }
+
+    def test_concurrent_identical_requests_coalesce_bitwise(self, session):
+        coalescer = RequestCoalescer(session)
+
+        async def run():
+            return await asyncio.gather(
+                *(coalescer.submit(self._solve_request()) for _ in range(5))
+            )
+
+        responses = asyncio.run(run())
+        direct = _direct_solve_doc(SPEC2, "AO", {"m_cap": 8})
+        assert all(r["ok"] for r in responses)
+        assert [r["coalesced"] for r in responses] == [5] * 5
+        assert coalescer.coalesced_batches == 1
+        assert coalescer.coalesced_requests == 5
+        # One solve ran; every response carries the identical document.
+        assert session.solve_requests == 1
+        docs = [_deterministic(r["result"]) for r in responses]
+        assert all(doc == _deterministic(direct) for doc in docs)
+
+    def test_concurrent_equals_sequential_for_distinct_requests(self, session):
+        requests = [
+            self._solve_request(SPEC2, "AO", 8),
+            self._solve_request(SPEC2, "AO", 16),
+            self._solve_request(SPEC3, "LNS", 8),
+        ]
+        requests[2]["params"] = {}
+
+        async def run():
+            return await asyncio.gather(
+                *(coalescer.submit(r) for r in requests)
+            )
+
+        coalescer = RequestCoalescer(session)
+        responses = asyncio.run(run())
+        for request, response in zip(requests, responses):
+            direct = _direct_solve_doc(
+                request["platform"], request["solver"], request["params"]
+            )
+            assert response["ok"], response
+            assert _deterministic(response["result"]) == _deterministic(direct)
+
+    def test_rejected_certificate_fallback_parity(self, session, monkeypatch):
+        """Satellite: the coalesced path and the direct path degrade to
+        the *same* certified fallback when a solver lies."""
+        import repro.algorithms.registry as registry
+
+        honest = get_solver("AO")
+
+        def liar(engine, **params):
+            r = honest.func(engine, **params)
+            return dataclasses.replace(r, peak_theta=r.peak_theta - 5.0)
+
+        lying = dataclasses.replace(honest, func=liar)
+        monkeypatch.setitem(registry.SOLVERS, "AO", lying)
+        coalescer = RequestCoalescer(session)
+
+        async def run():
+            return await asyncio.gather(
+                *(coalescer.submit(self._solve_request(m_cap=16)) for _ in range(3))
+            )
+
+        responses = asyncio.run(run())
+        direct = guarded_solve(
+            lying, ThermalEngine(load_platform(SPEC2)), m_cap=16
+        )
+        assert direct.details["fallback"]["failure"].startswith(
+            "certificate rejected"
+        )
+        for response in responses:
+            assert response["ok"] and response["coalesced"] == 3
+            doc = response["result"]
+            assert doc["details"]["fallback"] == direct.details["fallback"]
+            assert _deterministic(doc) == _deterministic(result_to_dict(direct))
+            assert response["certificate"]["accepted"]
+
+    def test_evaluate_requests_share_one_grid_call(self, session):
+        result = session.solve(SPEC2, "AO", {"m_cap": 8}).result
+        schedule_doc = schedule_to_dict(result.schedule)
+        coalescer = RequestCoalescer(session)
+        request = {
+            "op": "evaluate",
+            "platform": dict(SPEC2),
+            "schedule": schedule_doc,
+        }
+
+        async def run():
+            return await asyncio.gather(
+                *(coalescer.submit(dict(request)) for _ in range(4))
+            )
+
+        responses = asyncio.run(run())
+        scalar = api_evaluate(
+            ThermalEngine(load_platform(SPEC2)), result.schedule
+        )
+        assert all(r["ok"] and r["coalesced"] == 4 for r in responses)
+        for r in responses:
+            assert r["evaluation"]["peak_theta"] == pytest.approx(
+                scalar.peak_theta, abs=1e-9
+            )
+            assert r["evaluation"]["feasible"] == scalar.feasible
+
+    def test_unknown_op_and_bad_request_get_error_docs(self, session):
+        coalescer = RequestCoalescer(session)
+
+        async def run():
+            return await asyncio.gather(
+                coalescer.submit({"op": "transmogrify"}),
+                coalescer.submit({"op": "solve", "solver": "nope"}),
+                coalescer.submit(self._solve_request()),
+            )
+
+        bad_op, bad_solver, good = asyncio.run(run())
+        assert not bad_op["ok"] and "unknown op" in bad_op["error"]["message"]
+        assert not bad_solver["ok"]
+        assert good["ok"]
+
+
+class TestServer:
+    def _requests(self, schedule_doc, claims):
+        solves = [
+            {
+                "op": "solve",
+                "platform": dict(SPEC2),
+                "solver": "AO",
+                "params": {"m_cap": 8},
+            }
+            for _ in range(4)
+        ]
+        return solves + [
+            {"op": "solve", "platform": dict(SPEC2), "solver": "LNS"},
+            {
+                "op": "evaluate",
+                "platform": dict(SPEC2),
+                "schedule": schedule_doc,
+            },
+            {
+                "op": "certify",
+                "platform": dict(SPEC2),
+                "schedule": schedule_doc,
+                "claims": claims,
+            },
+            {"op": "ping"},
+        ]
+
+    def test_end_to_end_mixed_ops_with_journal(self, tmp_path, session):
+        seed = session.solve(SPEC2, "AO", {"m_cap": 8})
+        schedule_doc = schedule_to_dict(seed.result.schedule)
+        claims = {"claimed_peak": seed.result.peak_theta}
+        run_dir = tmp_path / "serve"
+
+        async def scenario():
+            server = ScheduleServer(run_dir=run_dir)
+            host, port = await server.start()
+            serve_task = asyncio.ensure_future(server.serve_until_shutdown())
+            work = await send_requests(
+                host, port, self._requests(schedule_doc, claims)
+            )
+            stats = (await send_requests(host, port, [{"op": "stats"}]))[0]
+            await send_requests(host, port, [{"op": "shutdown"}])
+            await serve_task
+            return work, stats
+
+        work, stats = asyncio.run(scenario())
+        assert all(r["ok"] for r in work)
+
+        solves = [r for r in work if r.get("op") == "solve"]
+        assert len(solves) == 5
+        # Every served solve carries an accepted certificate or an
+        # explicit fallback record — never a bare uncertified result.
+        for r in solves:
+            cert = r.get("certificate")
+            fallback = (r["result"].get("details") or {}).get("fallback")
+            assert (cert and cert["accepted"]) or fallback is not None
+        identical = [r for r in solves if r["coalesced"] == 4]
+        assert len(identical) == 4
+        assert len({json.dumps(r["result"], sort_keys=True) for r in identical}) == 1
+
+        certifies = [r for r in work if r.get("op") == "certify"]
+        assert certifies and all(r["accepted"] for r in certifies)
+
+        coalescer_stats = stats["stats"]["coalescer"]
+        assert coalescer_stats["coalesced_batches"] >= 1
+        assert coalescer_stats["largest_batch"] >= 4
+        assert stats["stats"]["served"] >= len(work)
+
+        # The journal makes the serve session a first-class citizen of
+        # ``repro stats``.
+        from repro.obs import run_dir_summary
+
+        summary = run_dir_summary(run_dir)
+        assert summary.service is not None
+        assert summary.status_counts.get("ok", 0) == 7  # work ops only
+        text = summary.format()
+        assert "service:" in text and "coalescing:" in text
+        assert "largest batch" in text
+
+    def test_malformed_lines_get_error_responses(self):
+        async def scenario():
+            server = ScheduleServer()
+            host, port = await server.start()
+            serve_task = asyncio.ensure_future(server.serve_until_shutdown())
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            line = await reader.readline()
+            writer.close()
+            await writer.wait_closed()
+            await send_requests(host, port, [{"op": "shutdown"}])
+            await serve_task
+            return json.loads(line), server
+
+        response, server = asyncio.run(scenario())
+        assert not response["ok"]
+        assert response["error"]["type"] == "JSONDecodeError"
+        assert server.failed >= 1
+
+
+class TestDefaultSessionWiring:
+    def test_api_evaluate_uses_the_shared_engine(self):
+        from repro.service.session import default_session
+
+        schedule = default_session().solve(
+            SPEC2, "AO", {"m_cap": 8}
+        ).result.schedule
+        engine = default_session().engine_for(SPEC2)
+        mark = engine.checkpoint()
+        api_evaluate(load_platform(SPEC2), schedule)
+        # The evaluation ran on the session's engine, not a fresh one.
+        assert engine.stats_since(mark).peak_evals == 1
+
+    def test_cli_solve_serves_from_disk_cache(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_SCHEDULE_CACHE_DIR", str(tmp_path))
+        reset_default_session()
+        argv = ["solve", "AO", "-o", "n_cores=2", "-o", "m_cap=8"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "engine stats:" in first
+        # A fresh session (new process in real life) hits the disk layer.
+        reset_default_session()
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "[served from schedule cache" in second
+        first_summary = first.splitlines()[0]
+        assert second.splitlines()[0] == first_summary
