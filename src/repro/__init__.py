@@ -56,6 +56,7 @@ from repro.algorithms import (
     dark_silicon_ao,
     ao,
     continuous_assignment,
+    integral_controller,
     exs,
     exs_pruned,
     get_solver,
@@ -106,6 +107,7 @@ __all__ = [
     "exs_pruned",
     "lns",
     "continuous_assignment",
+    "integral_controller",
     "dark_silicon_ao",
     "PowerModel",
     "TransitionOverhead",

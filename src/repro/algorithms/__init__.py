@@ -15,6 +15,7 @@ from repro.algorithms.oscillation import (
 from repro.algorithms.tpt import enforce_threshold, fill_headroom
 from repro.algorithms.minpeak import MinPeakResult, minimize_peak
 from repro.algorithms.ao import ao
+from repro.algorithms.control import ControllerTrace, integral_controller
 from repro.algorithms.dark import dark_silicon_ao
 from repro.algorithms.reactive import reactive_throttling
 from repro.algorithms.pco import pco
@@ -38,6 +39,8 @@ __all__ = [
     "MinPeakResult",
     "minimize_peak",
     "ao",
+    "ControllerTrace",
+    "integral_controller",
     "dark_silicon_ao",
     "reactive_throttling",
     "pco",

@@ -26,6 +26,7 @@ from repro.errors import SolverError
 from repro.safety.faults import FaultSpec
 from repro.schedule.intervals import StateInterval
 from repro.schedule.periodic import PeriodicSchedule
+from repro.sim.engine import simulate_closed_loop
 
 __all__ = ["ReactiveTrace", "reactive_throttling"]
 
@@ -119,72 +120,44 @@ def reactive_throttling(
 
     t0 = time.perf_counter()
     level_idx = np.full(n, len(ladder) - 1, dtype=int)  # start at full speed
-    theta = np.zeros(model.n_nodes)
-    cores = model.network.core_nodes
 
-    times = np.empty(n_steps)
-    temps = np.empty((n_steps, model.n_nodes))
-    levels = np.empty((n_steps, n))
-    peak = -np.inf
-    work = 0.0
-    measured_time = 0.0
-
-    levels_arr = np.asarray(ladder.levels)
-    rng = faults.rng() if faults is not None else None
-    stuck_idx: int | None = None
-    if faults is not None and faults.stuck_core is not None:
-        stuck_idx = faults.stuck_level % len(ladder)
-    last_reading = np.zeros(n)
-    for step in range(n_steps):
-        if stuck_idx is not None:
-            # The stuck actuator ignores whatever the governor decided.
-            level_idx[faults.stuck_core] = stuck_idx
-        volts = levels_arr[level_idx]
-        # Dense within-step maximum (the sensor cannot see it, we can).
-        from repro.thermal.matex import interval_solution
-
-        drift = faults.drift_at((step + 1) / n_steps) if faults is not None else 0.0
-        sol = interval_solution(model, theta, volts, sensor_period)
-        if step >= settle_steps:
-            val, _node, _when = sol.peak(nodes=cores, grid=16, refine=False)
-            peak = max(peak, val + drift)
-            work += float(volts.sum()) * sensor_period
-            measured_time += sensor_period
-        theta = sol.end_temperature()
-
-        times[step] = (step + 1) * sensor_period
-        temps[step] = theta
-        levels[step] = volts
-
-        # Governor reaction based on the (end-of-step) sensor reading —
-        # perturbed by the injected sensor faults, which is exactly what
-        # a real governor would be reacting to.
-        reading = theta[cores] + drift
-        if faults is not None and faults.any_sensor_fault:
-            reading = faults.perturb_reading(reading, last_reading, rng)
-        last_reading = reading
+    def policy(_step: int, reading: np.ndarray) -> np.ndarray:
         for i in range(n):
             if reading[i] > throttle_at and level_idx[i] > 0:
                 level_idx[i] -= 1
             elif reading[i] < raise_at and level_idx[i] < len(ladder) - 1:
                 level_idx[i] += 1
+        return level_idx
 
-    throughput = work / (n * measured_time) if measured_time > 0 else 0.0
+    loop = simulate_closed_loop(
+        model,
+        ladder,
+        policy,
+        n_steps=n_steps,
+        sensor_period=sensor_period,
+        initial_levels=level_idx,
+        settle_steps=settle_steps,
+        faults=faults,
+    )
     elapsed = time.perf_counter() - t0
+    peak = loop.peak_theta
     trace = ReactiveTrace(
-        times=times, temperatures=temps, levels=levels, peak_theta=float(peak)
+        times=loop.times,
+        temperatures=loop.temperatures,
+        levels=loop.levels,
+        peak_theta=peak,
     )
     # Report the limit-cycle behaviour as a pseudo-schedule (the last
     # sensor period's level vector held constant) so SchedulerResult's
     # schedule field stays meaningful for inspection.
     schedule = PeriodicSchedule(
-        (StateInterval(length=sensor_period, voltages=tuple(levels[-1])),)
+        (StateInterval(length=sensor_period, voltages=tuple(loop.levels[-1])),)
     )
     return SchedulerResult(
         name="Reactive",
         schedule=schedule,
-        throughput=float(throughput),
-        peak_theta=float(peak),
+        throughput=loop.throughput,
+        peak_theta=peak,
         feasible=bool(peak <= theta_max + 1e-9),
         runtime_s=elapsed,
         details={

@@ -30,6 +30,10 @@ import numpy as np
 from repro.algorithms.ao import ao
 from repro.algorithms.base import SchedulerResult
 from repro.algorithms.continuous import continuous_assignment
+from repro.algorithms.control import (
+    gain_scheduled_controller,
+    integral_controller,
+)
 from repro.algorithms.dark import dark_silicon_ao
 from repro.algorithms.exs import exs, exs_pruned
 from repro.algorithms.lns import lns
@@ -268,6 +272,29 @@ SOLVERS: dict[str, SolverSpec] = {
                 "sensor_period", "guard_band", "horizon", "settle_fraction",
                 "faults",
             ),
+            schedule_is_artifact=False,
+        ),
+        SolverSpec(
+            name="integral",
+            func=integral_controller,
+            description="per-core adjustable-gain integral DVFS controller",
+            params=(
+                "ki", "gain_scale", "gain_schedule", "hot_gain",
+                "sensor_period", "reference_offset", "horizon",
+                "settle_fraction", "faults",
+            ),
+            quick={"horizon": 0.02},
+            schedule_is_artifact=False,
+        ),
+        SolverSpec(
+            name="gain_sched",
+            func=gain_scheduled_controller,
+            description="integral controller with per-core gain scheduling",
+            params=(
+                "ki", "gain_scale", "hot_gain", "sensor_period",
+                "reference_offset", "horizon", "settle_fraction", "faults",
+            ),
+            quick={"horizon": 0.02},
             schedule_is_artifact=False,
         ),
         SolverSpec(

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.algorithms.registry import get_solver
 from repro.engine import ThermalEngine
+from repro.experiments.control import spawn_fault_seeds
 from repro.experiments.reporting import ascii_table
 from repro.platform import paper_platform
 from repro.safety.certificate import SafetyCertificate
@@ -61,6 +62,7 @@ class FaultsResult:
     ao_throughput: float
     ao_certificate: SafetyCertificate
     theta_max: float
+    seed: int = 0
 
     @property
     def certificate_sensor_immune(self) -> bool:
@@ -114,6 +116,7 @@ def faults_experiment(
     sensor_period: float = 1e-3,
     guard_band: float = 0.0,
     m_cap: int = 64,
+    seed: int = 0,
 ) -> FaultsResult:
     """Sweep fault scenarios over the reactive loop and the AO schedule.
 
@@ -124,6 +127,12 @@ def faults_experiment(
     guard_band:
         Reactive governor guard band (0 = maximally aggressive, so fault
         sensitivity shows up as overshoot rather than lost throughput).
+    seed:
+        Master seed; each scenario's :class:`FaultSpec` gets its own
+        child seed spawned from it through ``numpy.random.SeedSequence``
+        (a scenario whose kwargs pin ``seed`` explicitly keeps its pin).
+        The whole result is a pure function of this integer — two runs
+        at the same seed are bitwise identical.
     """
     engine = ThermalEngine.ensure(
         paper_platform(n_cores, n_levels=n_levels, t_max_c=t_max_c)
@@ -135,7 +144,11 @@ def faults_experiment(
 
     # Price AO's schedule under every scenario in one grid call (sensor-
     # only scenarios share a row — the executed schedule is unchanged).
-    specs = [FaultSpec(**kwargs) for _, kwargs in scenarios]
+    child_seeds = spawn_fault_seeds(int(seed), len(scenarios))
+    specs = [
+        FaultSpec(**{"seed": child, **kwargs})
+        for child, (_, kwargs) in zip(child_seeds, scenarios)
+    ]
     peaks = perturbed_peak_batch(engine, r_ao.schedule, specs)
 
     rows = []
@@ -162,4 +175,5 @@ def faults_experiment(
         ao_throughput=float(r_ao.throughput),
         ao_certificate=r_ao.certificate,
         theta_max=float(engine.theta_max),
+        seed=int(seed),
     )

@@ -14,6 +14,7 @@ from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 
 from repro.experiments.comparison import comparison
+from repro.experiments.control import control_experiment
 from repro.experiments.faults import faults_experiment
 from repro.experiments.fig2 import fig2
 from repro.experiments.fig3 import fig3
@@ -175,6 +176,18 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
                 ),
                 "m_cap": 16,
             },
+        ),
+        ExperimentSpec(
+            name="control",
+            run=control_experiment,
+            description="integral controller vs reactive vs certified AO "
+            "under sensor faults",
+            quick={
+                "intensities": (0.0, 1.0),
+                "horizon": 0.2,
+                "m_cap": 16,
+            },
+            accepts_runner=True,
         ),
     )
 }

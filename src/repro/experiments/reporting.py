@@ -6,7 +6,7 @@ import csv
 import io
 from collections.abc import Sequence
 
-__all__ = ["ascii_table", "to_csv"]
+__all__ = ["ascii_plot", "ascii_table", "to_csv"]
 
 
 def ascii_table(
@@ -39,6 +39,57 @@ def ascii_table(
     out.append(line(list(headers)))
     out.append("  ".join("-" * w for w in widths))
     out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    series: "dict[str, Sequence[float]]",
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+    y_label: str = "",
+) -> str:
+    """Render named y-series over shared x values as a text line chart.
+
+    Each series gets a marker (its label's first letter); colliding cells
+    show ``*``.  Deterministic output — committed experiment figures diff
+    cleanly across runs.
+    """
+    points = [y for ys in series.values() for y in ys]
+    if not points or not xs:
+        return "(empty plot)"
+    y_lo, y_hi = min(points), max(points)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    x_span = (x_hi - x_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for label, ys in series.items():
+        marker = label[0]
+        for x, y in zip(xs, ys):
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = round((y_hi - y) / (y_hi - y_lo) * (height - 1))
+            cell = grid[row][col]
+            grid[row][col] = marker if cell in (" ", marker) else "*"
+    out = []
+    if title:
+        out.append(title)
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_hi:.4f} "
+        elif i == height - 1:
+            label = f"{y_lo:.4f} "
+        else:
+            label = " " * len(f"{y_hi:.4f} ")
+        out.append(label + "|" + "".join(row))
+    margin = " " * len(f"{y_hi:.4f} ")
+    out.append(margin + "+" + "-" * width)
+    out.append(margin + f" {x_lo:g}" + f"{x_hi:g}".rjust(width - len(f"{x_lo:g}")))
+    legend = "   ".join(f"{label[0]} = {label}" for label in series)
+    out.append(margin + " " + legend)
+    if y_label:
+        out.append(margin + " y: " + y_label)
     return "\n".join(out)
 
 

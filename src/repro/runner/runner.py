@@ -265,6 +265,10 @@ class _RunState:
             "unit_id": unit.unit_id,
             "kind": unit.kind,
             "label": unit.label,
+            # The full unit spec: makes every journal row self-describing
+            # (the fault seeds an experiment ran with are in its journal,
+            # not just recoverable by rebuilding the unit list).
+            "payload": dict(unit.payload),
             "status": status,
             "attempts": attempts,
             "elapsed_s": round(float(elapsed), 6),

@@ -1,5 +1,15 @@
-"""Co-simulation: tasks (EDF) and temperature executed together."""
+"""Co-simulation: tasks (EDF), closed-loop governors, and temperature."""
 
-from repro.sim.engine import CoSimReport, cosimulate
+from repro.sim.engine import (
+    ClosedLoopTrace,
+    CoSimReport,
+    cosimulate,
+    simulate_closed_loop,
+)
 
-__all__ = ["CoSimReport", "cosimulate"]
+__all__ = [
+    "ClosedLoopTrace",
+    "CoSimReport",
+    "cosimulate",
+    "simulate_closed_loop",
+]

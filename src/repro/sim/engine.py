@@ -15,10 +15,20 @@ the loop:
 
 The nominal peak remains the *guarantee* (it upper-bounds the actual);
 the co-simulated peak shows the margin a governor could reclaim.
+
+The second half of this module closes the loop the other way:
+:func:`simulate_closed_loop` runs a *sensor-driven* DVFS policy (the
+reactive throttler, the integral-controller family) against the same
+thermal model under injected :class:`~repro.safety.faults.FaultSpec`
+perturbations — sensor noise and dropout on what the policy reads, a
+stuck DVFS actuator overriding what it commands, ambient drift eating
+its headroom — while the reported statistics stay grounded in the true
+(dense, unperturbed-physics) temperature trace.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,12 +38,176 @@ from repro.safety.faults import FaultSpec, stuck_schedule
 from repro.schedule.builders import from_core_timelines
 from repro.schedule.intervals import MIN_INTERVAL
 from repro.schedule.periodic import PeriodicSchedule
+from repro.thermal.matex import interval_solution
 from repro.thermal.model import ThermalModel
 from repro.thermal.peak import peak_temperature
 from repro.workload.edf import EDFReport, simulate_edf
 from repro.workload.tasks import PeriodicTask
 
-__all__ = ["CoSimReport", "cosimulate"]
+__all__ = [
+    "ClosedLoopTrace",
+    "CoSimReport",
+    "cosimulate",
+    "simulate_closed_loop",
+]
+
+#: ``policy(step, reading) -> level_idx`` — the governor side of the loop.
+PolicyFn = Callable[[int, np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class ClosedLoopTrace:
+    """Sampled state of one sensor-driven closed-loop simulation.
+
+    Attributes
+    ----------
+    times:
+        Sensor instants (s), one per step.
+    temperatures:
+        ``(n_steps, n_nodes)`` node temperatures at the sensor instants.
+    levels:
+        ``(n_steps, n_cores)`` voltages *applied* during each step (the
+        stuck-DVFS fault is already folded in — this is what the silicon
+        ran, not what the policy commanded).
+    readings:
+        ``(n_steps, n_cores)`` core temperatures the policy *saw* after
+        each step — sensor noise, dropout, and ambient drift included.
+    peak_theta:
+        Hottest core temperature over the measurement window (dense
+        within-step maxima plus ambient drift, not just sensor samples).
+    work:
+        Integrated speed-seconds over the measurement window (summed
+        across cores).
+    measured_time:
+        Length (s) of the measurement window the statistics cover.
+    """
+
+    times: np.ndarray
+    temperatures: np.ndarray
+    levels: np.ndarray
+    readings: np.ndarray
+    peak_theta: float
+    work: float
+    measured_time: float
+
+    @property
+    def throughput(self) -> float:
+        """Time-averaged per-core speed over the measurement window."""
+        if self.measured_time <= 0:
+            return 0.0
+        n_cores = self.levels.shape[1]
+        return float(self.work / (n_cores * self.measured_time))
+
+
+def simulate_closed_loop(
+    model: ThermalModel,
+    ladder,
+    policy: PolicyFn,
+    *,
+    n_steps: int,
+    sensor_period: float,
+    initial_levels: np.ndarray,
+    settle_steps: int = 0,
+    faults: FaultSpec | dict | None = None,
+    rng: np.random.Generator | None = None,
+) -> ClosedLoopTrace:
+    """Run a sensor-driven DVFS policy against the thermal model.
+
+    This is the shared cosimulation core behind every closed-loop
+    governor in the tree (the reactive threshold throttler and the
+    integral-controller family): per sensor period it propagates the
+    exact interval solution, tracks the dense within-step peak, perturbs
+    the end-of-step sensor reading through the injected
+    :class:`~repro.safety.faults.FaultSpec` (noise, dropout, ambient
+    drift), pins a stuck DVFS core, and hands the *perturbed* reading to
+    ``policy`` — which returns the ladder level indices for the next
+    step.  The physics the statistics are taken over always uses the
+    true temperatures; only the policy is lied to, exactly like on real
+    silicon.
+
+    Parameters
+    ----------
+    policy:
+        ``policy(step, reading) -> level_idx`` mapping the perturbed
+        core-temperature reading after ``step`` to the per-core ladder
+        level indices applied in step ``step + 1``.
+    initial_levels:
+        Per-core ladder level indices applied in step 0.  The array is
+        adopted (stuck-actuator pinning mutates it in place); pass a
+        copy if the caller needs it preserved.
+    settle_steps:
+        Steps discarded as warm-up before peak/throughput statistics.
+    faults:
+        Optional :class:`~repro.safety.faults.FaultSpec` (or dict form)
+        injected into sensing and actuation.
+    rng:
+        Explicit generator driving the fault sampling.  ``None`` derives
+        one from ``faults.seed`` — pass a generator only to share one
+        stream across several simulations deliberately.
+    """
+    faults = FaultSpec.coerce(faults)
+    n = model.n_cores
+    cores = model.network.core_nodes
+    levels_arr = np.asarray(ladder.levels)
+    # Adopted, not copied: a policy that keeps a reference to this array
+    # (the reactive throttler's hysteresis state) sees the stuck-actuator
+    # pinning exactly as it would on shared hardware registers.
+    level_idx = np.asarray(initial_levels, dtype=int)
+
+    if rng is None and faults is not None:
+        rng = faults.rng()
+    stuck_idx: int | None = None
+    if faults is not None and faults.stuck_core is not None:
+        stuck_idx = faults.stuck_level % len(ladder)
+
+    theta = np.zeros(model.n_nodes)
+    times = np.empty(n_steps)
+    temps = np.empty((n_steps, model.n_nodes))
+    levels = np.empty((n_steps, n))
+    readings = np.empty((n_steps, n))
+    peak = -np.inf
+    work = 0.0
+    measured_time = 0.0
+    last_reading = np.zeros(n)
+
+    for step in range(n_steps):
+        if stuck_idx is not None:
+            # The stuck actuator ignores whatever the policy decided.
+            level_idx[faults.stuck_core] = stuck_idx
+        volts = levels_arr[level_idx]
+        # Dense within-step maximum (the sensor cannot see it, we can).
+        drift = faults.drift_at((step + 1) / n_steps) if faults is not None else 0.0
+        sol = interval_solution(model, theta, volts, sensor_period)
+        if step >= settle_steps:
+            val, _node, _when = sol.peak(nodes=cores, grid=16, refine=False)
+            peak = max(peak, val + drift)
+            work += float(volts.sum()) * sensor_period
+            measured_time += sensor_period
+        theta = sol.end_temperature()
+
+        times[step] = (step + 1) * sensor_period
+        temps[step] = theta
+        levels[step] = volts
+
+        # Policy reaction based on the (end-of-step) sensor reading —
+        # perturbed by the injected sensor faults, which is exactly what
+        # a real governor would be reacting to.
+        reading = theta[cores] + drift
+        if faults is not None and faults.any_sensor_fault:
+            reading = faults.perturb_reading(reading, last_reading, rng)
+        last_reading = reading
+        readings[step] = reading
+        level_idx = np.asarray(policy(step, reading), dtype=int)
+
+    return ClosedLoopTrace(
+        times=times,
+        temperatures=temps,
+        levels=levels,
+        readings=readings,
+        peak_theta=float(peak),
+        work=float(work),
+        measured_time=float(measured_time),
+    )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,161 @@
+"""Property-based suite for the closed-loop integral controller.
+
+Three behavioural invariants, checked over hypothesis-drawn platforms
+and fault scenarios rather than hand-picked cases:
+
+1. **Bounded settled overshoot** — after the warm-up window, the trace
+   stays within ``theta_max + tol`` where ``tol`` is the platform's own
+   two-sensor-period reaction budget (a stale read plus one reaction
+   delay at full heating rate).  A controller that stops reacting, or a
+   sim refactor that breaks the sensor→command loop, blows through it.
+2. **Anti-windup** — the integral state never leaves its clamp interval,
+   no matter how violent the sensor faults are.
+3. **Noise monotonicity** — in the noise-averaging regime the
+   ``hot_gain`` asymmetry turns sensor noise into lost throughput:
+   seed-averaged throughput is non-increasing in noise sigma, up to the
+   duty-cycle quantization floor.
+
+Profiles: loads the ``ci`` profile by default (derandomized, few
+examples); set ``HYPOTHESIS_PROFILE=dev`` for a wider search locally.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.control import integral_controller
+from repro.engine import ThermalEngine
+from repro.platform import paper_platform
+
+settings.register_profile(
+    "ci", max_examples=15, deadline=None, derandomize=True, print_blob=True
+)
+settings.register_profile("dev", max_examples=60, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+
+SENSOR_PERIOD = 1e-3
+
+
+@st.composite
+def platforms(draw):
+    """Small paper platforms across core counts, ladders, thresholds."""
+    n_cores = draw(st.sampled_from([2, 3]))
+    n_levels = draw(st.sampled_from([2, 3]))
+    t_max_c = draw(st.floats(50.0, 80.0))
+    return paper_platform(n_cores, n_levels=n_levels, t_max_c=t_max_c)
+
+
+def reaction_budget(engine: ThermalEngine, theta_ref: float) -> float:
+    """Worst-case temperature rise over two sensor periods from the
+    reference: one stale read plus one reaction delay, both at the full-
+    speed heating rate.  The controller cannot do better than this; a
+    correct controller must not do worse (after settling)."""
+    model = engine.model
+    v_full = np.full(engine.n_cores, engine.ladder.v_max)
+    theta_ss_max = float(engine.steady_state_cores(v_full).max())
+    alpha = float(np.exp(-SENSOR_PERIOD / model.slowest_time_constant))
+    return 2.0 * (1.0 - alpha) * max(theta_ss_max - theta_ref, 0.0)
+
+
+class TestSettledOvershootBound:
+    @given(platform=platforms())
+    def test_trace_within_theta_max_plus_tol(self, platform):
+        engine = ThermalEngine(platform)
+        offset = 1.0
+        theta_ref = engine.theta_max - offset
+        v_lo = np.full(engine.n_cores, engine.ladder.v_min)
+        # Feasible platform: the loop can actually cool below its
+        # reference — otherwise regulation is physically impossible and
+        # the bound tells us nothing.
+        assume(float(engine.steady_state_cores(v_lo).max()) < theta_ref)
+        r = integral_controller(
+            engine, reference_offset=offset, sensor_period=SENSOR_PERIOD
+        )
+        tol = reaction_budget(engine, theta_ref) - offset + 1e-6
+        assert r.peak_theta <= engine.theta_max + tol
+        trace = r.details["trace"]
+        settled = trace.temperatures[trace.temperatures.shape[0] // 2:]
+        assert float(settled.max()) <= engine.theta_max + tol
+
+
+class TestAntiWindup:
+    @given(
+        platform=platforms(),
+        sigma=st.floats(0.0, 5.0),
+        dropout=st.floats(0.0, 0.9),
+        seed=st.integers(0, 2**31 - 1),
+        gain_scale=st.floats(0.05, 2.0),
+    )
+    def test_integral_state_always_clamped(
+        self, platform, sigma, dropout, seed, gain_scale
+    ):
+        r = integral_controller(
+            platform,
+            gain_scale=gain_scale,
+            horizon=0.1,
+            faults={
+                "sensor_noise_sigma": sigma,
+                "sensor_dropout_prob": dropout,
+                "seed": seed,
+            },
+        )
+        z_lo, z_hi = (np.asarray(b) for b in r.details["windup_z_bounds"])
+        z = r.details["trace"].integrals
+        assert np.all(z >= z_lo - 1e-12)
+        assert np.all(z <= z_hi + 1e-12)
+        # The clamp interval itself maps exactly onto the ladder span.
+        gains = np.asarray(r.details["gains"])
+        u_mid = 0.5 * (platform.ladder.v_min + platform.ladder.v_max)
+        assert u_mid + gains * z_lo == pytest.approx(platform.ladder.v_min)
+        assert u_mid + gains * z_hi == pytest.approx(platform.ladder.v_max)
+
+
+class TestNoiseMonotonicity:
+    HORIZON = 0.75
+    N_SEEDS = 3
+
+    def _mean_throughput(self, platform, sigma, seed_base):
+        thr = []
+        for k in range(self.N_SEEDS):
+            faults = None
+            if sigma > 0:
+                faults = {
+                    "sensor_noise_sigma": sigma,
+                    "seed": seed_base + k,
+                }
+            r = integral_controller(
+                platform,
+                gain_scale=0.1,  # the noise-averaging regime
+                horizon=self.HORIZON,
+                faults=faults,
+            )
+            thr.append(r.throughput)
+        return float(np.mean(thr))
+
+    @given(
+        sigma_lo=st.floats(0.0, 1.5),
+        gap=st.floats(0.5, 1.5),
+        seed_base=st.integers(0, 10_000),
+    )
+    def test_throughput_non_increasing_in_sigma(
+        self, platform3, sigma_lo, gap, seed_base
+    ):
+        sigma_hi = sigma_lo + gap
+        lo = self._mean_throughput(platform3, sigma_lo, seed_base)
+        hi = self._mean_throughput(platform3, sigma_hi, seed_base)
+        # Tolerance: two duty-cycle quanta (one step of one core changing
+        # level over the measurement window) — the resolution limit of
+        # throughput on a discrete ladder.
+        ladder = platform3.ladder
+        measured = self.HORIZON / 2
+        quantum = (
+            (ladder.v_max - ladder.v_min)
+            * SENSOR_PERIOD
+            / (platform3.n_cores * measured)
+        )
+        assert hi <= lo + 2 * quantum

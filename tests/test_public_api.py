@@ -45,6 +45,7 @@ PUBLIC_SURFACE = sorted([
     "exs_pruned",
     "lns",
     "continuous_assignment",
+    "integral_controller",
     "dark_silicon_ao",
     "PowerModel",
     "TransitionOverhead",

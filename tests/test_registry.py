@@ -19,6 +19,8 @@ ALL_NAMES = (
     "PCO",
     "dark",
     "reactive",
+    "integral",
+    "gain_sched",
     "continuous",
     "minpeak",
 )
@@ -30,11 +32,13 @@ QUICK_PARAMS = {
     "dark": {"m_cap": 8},
     "minpeak": {"m_cap": 8},
     "reactive": {"horizon": 0.2},
+    "integral": {"horizon": 0.2},
+    "gain_sched": {"horizon": 0.2},
 }
 
 
 class TestRegistryShape:
-    def test_all_nine_solvers_registered(self):
+    def test_all_eleven_solvers_registered(self):
         assert set(SOLVERS) == set(ALL_NAMES)
 
     def test_specs_are_consistent(self):

@@ -1,0 +1,109 @@
+"""Registry completeness: every solver is tested, certified, cacheable.
+
+Parametrized directly over :data:`repro.algorithms.registry.SOLVERS`, so
+registering a new solver *automatically* fails this suite until the
+solver is (a) added to the cross-solver feasible-parity sweep in
+``tests/test_registry.py``, (b) shown to attach an accepted-or-fallback
+certificate through :func:`guarded_solve`, and (c) shown to round-trip
+through the :class:`~repro.service.cache.ScheduleCache` key and wire
+format the serving layer memoizes outcomes with.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.registry import SOLVERS, guarded_solve
+from repro.schedule.serialization import result_from_dict, result_to_dict
+from repro.service.cache import ScheduleCache, platform_hash, schedule_cache_key
+
+from tests.test_registry import ALL_NAMES, QUICK_PARAMS
+
+ALL_SOLVERS = sorted(SOLVERS)
+
+
+def cheap_params(name: str) -> dict:
+    """The same fast per-solver parameters the parity sweep uses."""
+    return dict(QUICK_PARAMS.get(name, {}))
+
+
+@pytest.fixture(scope="module")
+def guarded_results(platform3):
+    """One guarded solve per registered solver, shared by the module."""
+    return {
+        name: guarded_solve(name, platform3, **cheap_params(name))
+        for name in ALL_SOLVERS
+    }
+
+
+@pytest.mark.parametrize("name", ALL_SOLVERS)
+def test_solver_appears_in_parity_sweep(name):
+    """(a) The feasible-parity sweep covers every registered solver."""
+    assert name in ALL_NAMES, (
+        f"solver {name!r} is registered but missing from the parity sweep "
+        "in tests/test_registry.py (add it to ALL_NAMES, with QUICK_PARAMS "
+        "if it needs them)"
+    )
+
+
+def test_parity_sweep_names_all_registered():
+    """The sweep list cannot drift ahead of the registry either."""
+    assert set(ALL_NAMES) == set(SOLVERS)
+
+
+@pytest.mark.parametrize("name", ALL_SOLVERS)
+def test_guarded_solve_certifies_or_falls_back(name, guarded_results):
+    """(b) Every solver leaves guarded_solve with an accepted certificate,
+    either its own or one earned by a recorded fallback hop."""
+    result = guarded_results[name]
+    assert result.certificate is not None
+    assert result.certificate.accepted
+    fallback = result.details.get("fallback")
+    if fallback is not None:
+        assert fallback.get("hop")
+        assert fallback.get("failure")
+
+
+@pytest.mark.parametrize("name", ALL_SOLVERS)
+def test_outcome_round_trips_through_schedule_cache(
+    name, guarded_results, platform3, tmp_path
+):
+    """(c) The solve outcome survives the cache's key + wire format:
+    store the serialized result under its content key, reload through a
+    *fresh* cache instance (disk layer only), and compare."""
+    result = guarded_results[name]
+    key = schedule_cache_key(
+        platform_hash(platform3), name, cheap_params(name), 1e-3
+    )
+
+    writer = ScheduleCache(directory=tmp_path)
+    writer.put(key, {"result": result_to_dict(result)})
+
+    reader = ScheduleCache(directory=tmp_path)
+    doc = reader.get(key)
+    assert doc is not None and reader.disk_hits == 1
+
+    restored = result_from_dict(doc["result"])
+    assert restored.name == result.name
+    assert restored.throughput == result.throughput
+    assert restored.peak_theta == result.peak_theta
+    assert restored.feasible == result.feasible
+
+
+def test_cache_keys_are_distinct_per_solver(platform3):
+    """Same platform, same tolerance: solver name alone must split keys."""
+    phash = platform_hash(platform3)
+    keys = {
+        schedule_cache_key(phash, name, cheap_params(name), 1e-3)
+        for name in ALL_SOLVERS
+    }
+    assert len(keys) == len(ALL_SOLVERS)
+
+
+def test_cache_key_canonicalizes_param_spelling():
+    """Tuples vs lists (and numpy scalars) must not split the cache."""
+    import numpy as np
+
+    a = schedule_cache_key("p", "integral", {"ki": (1.0, 2.0)}, 1e-3)
+    b = schedule_cache_key("p", "integral", {"ki": [1.0, np.float64(2.0)]}, 1e-3)
+    assert a == b
