@@ -13,4 +13,17 @@ done
 # fig3 at a finer sweep than the default benchmark granularity.
 "$PY" -c "from repro.cli import main; import sys; sys.exit(main(['fig3', '-o', 'step=0.2']))" \
     | tee results/fig3.txt
+# scaling writes both the JSON headline and the rendered figure.
+echo "== scaling =="
+"$PY" - <<'EOF'
+import json
+from repro.experiments.registry import run_experiment
+res = run_experiment("scaling")
+with open("results/scaling.json", "w") as fh:
+    json.dump(res.headline(), fh, indent=1, sort_keys=True)
+    fh.write("\n")
+with open("results/scaling.txt", "w") as fh:
+    fh.write(res.format() + "\n")
+print(open("results/scaling.txt").read())
+EOF
 echo "all results regenerated under results/"

@@ -28,13 +28,18 @@ The package implements the paper's complete stack:
 * :mod:`repro.service` — the scheduling service core behind ``repro
   serve``: :class:`SchedulerSession` (shared engines + the
   content-addressed :class:`ScheduleCache`), request coalescing, and the
-  newline-delimited-JSON server.
+  newline-delimited-JSON server,
+* :mod:`repro.platforms` — the declarative :class:`PlatformSpec`
+  registry every platform construction resolves through (named presets
+  plus the generated ``tech-<node>-<style>`` families),
+* :mod:`repro.scaling` — the technology-scaling model behind the
+  ``tech`` platform family and the dark-silicon ``scaling`` experiment.
 
 Quickstart::
 
     from repro import evaluate, load_platform, solve
 
-    platform = load_platform(n_cores=3, n_levels=2, t_max_c=65.0)
+    platform = load_platform("paper", t_max_c=65.0)   # or "tech-16-io"
     result = solve("AO", platform)
     print(result.summary())
     print(evaluate(platform, result.schedule).summary())
@@ -46,6 +51,7 @@ from submodules directly are internal and may move without notice.
 """
 
 from repro.platform import Platform, paper_platform, platform_3d
+from repro.platforms import PlatformSpec, platform_names
 from repro.api import EvaluationResult, evaluate, load_platform
 from repro.engine import EngineStats, ThermalEngine, engine_entrypoint
 from repro.obs import METRICS, capture_spans, span
@@ -83,6 +89,8 @@ __all__ = [
     "Platform",
     "paper_platform",
     "platform_3d",
+    "PlatformSpec",
+    "platform_names",
     "load_platform",
     "evaluate",
     "EvaluationResult",

@@ -2,9 +2,11 @@
 
 Three verbs cover the common workflow without touching any submodule:
 
-* :func:`load_platform` — build the calibrated paper platform
-  (a thin veneer over :func:`repro.platform.paper_platform` that also
-  accepts a spec dict, the shape journal rows and manifests use);
+* :func:`load_platform` — build a platform from a
+  :class:`~repro.platforms.PlatformSpec`, a preset name
+  (``"paper"``, ``"tech-16-io"``, ...) or a spec document, with keyword
+  overrides layered on top (legacy flat kwargs still work behind a
+  ``DeprecationWarning``);
 * :func:`repro.algorithms.registry.solve` — run a registered scheduler
   (re-exported at the package root);
 * :func:`evaluate` — independently price an arbitrary schedule on a
@@ -18,12 +20,15 @@ cannot drift silently.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Mapping
 from dataclasses import dataclass
 from typing import Any
 
 from repro.engine import ThermalEngine
+from repro.errors import ConfigurationError
 from repro.platform import Platform, paper_platform
+from repro.platforms import PlatformSpec
 from repro.schedule.periodic import PeriodicSchedule
 from repro.schedule.properties import throughput as schedule_throughput
 
@@ -31,25 +36,62 @@ __all__ = ["load_platform", "EvaluationResult", "evaluate"]
 
 
 def load_platform(
-    spec: Mapping[str, Any] | None = None, **overrides: Any
+    spec: PlatformSpec | str | Mapping[str, Any] | None = None,
+    **overrides: Any,
 ) -> Platform:
-    """Build the calibrated paper platform from a spec dict and/or kwargs.
+    """Build a platform from a spec, preset name or spec document.
 
-    ``spec`` takes the same keys as
-    :func:`repro.platform.paper_platform` (``n_cores``, ``n_levels``,
-    ``t_max_c``, ``t_ambient_c``, ``tau``, ``topology``, ...); explicit
-    keyword ``overrides`` win over ``spec`` entries.  ``n_cores``
-    defaults to 3 — the paper's reference configuration — so
-    ``load_platform()`` alone yields a usable platform.
+    The supported forms all resolve through the
+    :class:`~repro.platforms.PlatformSpec` registry:
 
-    Unknown keys are rejected by ``paper_platform`` itself, so a journal
-    row's ``payload`` can be splatted in directly only after filtering —
-    use ``{k: row[k] for k in ("n_cores", "n_levels", "t_max_c", "tau")}``.
+    * a preset or family name — ``load_platform("paper")``,
+      ``load_platform("tech-16-io", n_cores=4)``;
+    * a :class:`~repro.platforms.PlatformSpec` instance;
+    * a spec document ``{"family": ..., "overrides": {...}}`` (the JSON
+      wire form journals and manifests carry) or ``{"name": ...,
+      <overrides>}``;
+    * ``None`` — the default ``paper`` preset.
+
+    Keyword ``overrides`` are layered on top of the spec and win.  The
+    built platform carries its spec as provenance (``platform.spec``),
+    so content-addressed caches and sweep-derived copies stay in sync.
+
+    .. deprecated:: 1.0
+        Flat legacy forms — bare :func:`~repro.platform.paper_platform`
+        kwargs like ``load_platform(n_cores=3)`` or a flat dict without
+        a ``family``/``name`` key — still build the paper platform but
+        emit a ``DeprecationWarning``.  Spell them
+        ``load_platform("paper", n_cores=3)`` instead.
     """
+    named = isinstance(spec, (PlatformSpec, str)) or (
+        isinstance(spec, Mapping) and ("family" in spec or "name" in spec)
+    )
+    if named:
+        return PlatformSpec.coerce(spec).with_overrides(**overrides).build()
+    if spec is None and not overrides:
+        return PlatformSpec("paper").build()
+    if spec is not None and not isinstance(spec, Mapping):
+        raise ConfigurationError(
+            f"load_platform() takes a PlatformSpec, a preset name, or a "
+            f"spec document; got {type(spec).__name__}"
+        )
+    warnings.warn(
+        "passing flat paper_platform kwargs to load_platform() is "
+        "deprecated; use load_platform('paper', **overrides) or a "
+        "PlatformSpec (see repro.platforms)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     kwargs: dict[str, Any] = dict(spec or {})
     kwargs.update(overrides)
-    kwargs.setdefault("n_cores", 3)
-    return paper_platform(**kwargs)
+    try:
+        return PlatformSpec("paper", kwargs).build()
+    except ConfigurationError:
+        # Non-scalar legacy overrides (explicit PowerModel / ladder /
+        # rc_params objects) cannot ride in a spec; keep the old direct
+        # path for them, without provenance.
+        kwargs.setdefault("n_cores", 3)
+        return paper_platform(**kwargs)
 
 
 @dataclass(frozen=True)

@@ -12,7 +12,7 @@
     repro serve [--host H] [--port P | --stdio] [--run-dir DIR]
                 [--max-batch N]
     repro stats <run-dir>
-    repro list
+    repro list [experiments|solvers|platforms]
     repro legacy <experiment> ...   (deprecated alias for `run`)
 
 ``repro run`` regenerates a table/figure of the paper; ``repro solve``
@@ -22,14 +22,16 @@ certify`` sweeps solvers over a small platform grid through the guarded
 registry path (:func:`repro.algorithms.registry.guarded_solve`) and
 prints every :class:`~repro.safety.certificate.SafetyCertificate` —
 exiting 4 if any certificate is rejected, which makes it a CI gate —
-``-o platforms=paper,big_little`` extends the sweep to heterogeneous
-big.LITTLE power models; ``repro serve`` runs the scheduling service
+``-o platforms=...`` takes any named :class:`~repro.platforms.PlatformSpec`
+presets (``paper``, ``big_little``, ``stack3d``, ``tech-16-io``, ...;
+see ``repro list platforms``); ``repro serve`` runs the scheduling service
 (:mod:`repro.service`): newline-delimited JSON requests over TCP or
 stdio, answered through the session-scoped engine LRU, the
 content-addressed schedule cache, and the request coalescer;
 ``repro stats`` summarizes a journaled run directory (unit statuses,
 run-level engine counters, certificate tallies, per-span wall-time
-table); ``repro list`` enumerates both registries.  The historical single-positional form
+table); ``repro list`` enumerates the experiment, solver and platform
+registries.  The historical single-positional form
 (``repro fig6 --quick``) is retired: a bare experiment id is now an
 error, and ``repro legacy fig6 --quick`` keeps the old spelling alive
 one release longer behind an explicit :class:`DeprecationWarning`.
@@ -67,8 +69,13 @@ from repro.experiments.registry import EXPERIMENTS, run_experiment
 __all__ = ["main"]
 
 #: ``repro solve`` option keys consumed by the platform builder rather
-#: than the solver.
-PLATFORM_KEYS = ("n_cores", "n_levels", "t_max_c", "t_ambient_c", "tau", "topology")
+#: than the solver.  ``platform`` names a
+#: :class:`~repro.platforms.PlatformSpec` preset (default ``paper``);
+#: the rest are overrides layered on that spec.
+PLATFORM_KEYS = (
+    "platform", "n_cores", "n_levels", "t_max_c", "t_ambient_c", "tau",
+    "topology",
+)
 
 
 def _parse_scalar(raw: str):
@@ -114,15 +121,24 @@ def _add_option_argument(parser: argparse.ArgumentParser, target: str) -> None:
     )
 
 
-def _cmd_list(_args: argparse.Namespace) -> int:
-    print("experiments:")
-    for name in sorted(EXPERIMENTS):
-        print(f"  {name:<10s} {EXPERIMENTS[name].description}")
-    from repro.algorithms.registry import SOLVERS
+def _cmd_list(args: argparse.Namespace) -> int:
+    what = getattr(args, "what", None)
+    if what in (None, "experiments"):
+        print("experiments:")
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name:<10s} {EXPERIMENTS[name].description}")
+    if what in (None, "solvers"):
+        from repro.algorithms.registry import SOLVERS
 
-    print("solvers:")
-    for name, spec in SOLVERS.items():
-        print(f"  {name:<11s} {spec.description}")
+        print("solvers:")
+        for name, spec in SOLVERS.items():
+            print(f"  {name:<11s} {spec.description}")
+    if what in (None, "platforms"):
+        from repro.platforms import get_preset, platform_names
+
+        print("platforms:")
+        for name in platform_names():
+            print(f"  {name:<12s} {get_preset(name)[1]}")
     return 0
 
 
@@ -280,9 +296,17 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         )
         return 2
 
+    from repro.errors import ConfigurationError
+    from repro.platforms import PlatformSpec
+
     options = dict(args.option)
     platform_kwargs = {k: options.pop(k) for k in PLATFORM_KEYS if k in options}
-    platform_kwargs.setdefault("n_cores", 3)
+    preset = str(platform_kwargs.pop("platform", "paper"))
+    try:
+        platform_spec = PlatformSpec.named(preset, **platform_kwargs)
+    except ConfigurationError as exc:
+        print(f"solve: {exc}", file=sys.stderr)
+        return 2
     if args.quick:
         for key, value in spec.quick.items():
             options.setdefault(key, value)
@@ -290,7 +314,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     session = default_session()
     trace_sink = _open_trace(args.trace) if args.trace else None
     try:
-        outcome = session.solve(platform_kwargs, spec, options)
+        outcome = session.solve(platform_spec, spec, options)
     except Exception as exc:  # surface solver errors as a clean exit code
         print(f"{spec.name} failed: {exc}", file=sys.stderr)
         return 1
@@ -321,24 +345,31 @@ def _as_tuple(value) -> tuple:
     return value if isinstance(value, tuple) else (value,)
 
 
-#: ``repro certify`` platform flavors: the homogeneous paper platform
-#: and its heterogeneous big.LITTLE variant (first half of the cores
-#: big) — certificates' cross-route check covers both power models.
+#: Default ``repro certify`` platform flavors; ``-o platforms=...``
+#: accepts any :class:`~repro.platforms.PlatformSpec` preset name (see
+#: ``repro list platforms``) — certificates' cross-route check then
+#: covers heterogeneous, stacked and generated platforms alike.
 CERTIFY_PLATFORMS = ("paper", "big_little")
 
 
 def _certify_platform(flavor: str, n: int, lv: int, tm: float, **kwargs):
-    from repro.platform import paper_platform
-    from repro.power.heterogeneous import big_little_power_model
+    """One certify-grid cell resolved through the platform registry.
 
-    power = None
-    if flavor == "big_little":
-        power = big_little_power_model(
-            big_cores=list(range(max(1, int(n) // 2))), n_cores=int(n)
-        )
-    return paper_platform(
-        int(n), n_levels=int(lv), t_max_c=float(tm), power=power, **kwargs
-    )
+    Grid axes (``n_cores``/``n_levels``/``t_max_c``) and the pass-through
+    platform kwargs are layered onto the named preset as overrides,
+    silently dropping axes a family does not parameterize (``stack3d``
+    has no ``n_cores``).
+    """
+    from repro.platforms import PlatformSpec, get_family
+
+    spec = PlatformSpec.named(str(flavor))
+    overrides = {
+        "n_cores": int(n), "n_levels": int(lv), "t_max_c": float(tm), **kwargs
+    }
+    params = get_family(spec.family).params
+    return spec.with_overrides(
+        **{k: v for k, v in overrides.items() if k in params}
+    ).build()
 
 
 def _cmd_certify(args: argparse.Namespace) -> int:
@@ -365,14 +396,17 @@ def _cmd_certify(args: argparse.Namespace) -> int:
     level_counts = _as_tuple(options.pop("level_counts", (2,)))
     t_max_values = _as_tuple(options.pop("t_max_values", (65.0,)))
     platforms = _as_tuple(options.pop("platforms", ("paper",)))
-    unknown_platforms = [p for p in platforms if p not in CERTIFY_PLATFORMS]
-    if unknown_platforms:
-        print(
-            f"unknown platform flavor(s) {unknown_platforms}; "
-            f"known: {', '.join(CERTIFY_PLATFORMS)}",
-            file=sys.stderr,
-        )
-        return 2
+    from repro.platforms import PlatformSpec
+
+    for flavor in platforms:
+        try:
+            PlatformSpec.named(str(flavor))
+        except ConfigurationError as exc:
+            print(
+                f"certify: unknown platform flavor {flavor!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
     platform_kwargs = {
         k: options.pop(k)
         for k in ("t_ambient_c", "tau", "topology")
@@ -763,7 +797,15 @@ def main(argv: list[str] | None = None) -> int:
     p_stats.add_argument("run_dir", help="run directory (the --run-dir of a sweep)")
     p_stats.set_defaults(func=_cmd_stats)
 
-    p_list = sub.add_parser("list", help="enumerate experiments and solvers")
+    p_list = sub.add_parser(
+        "list", help="enumerate the experiment, solver and platform registries"
+    )
+    p_list.add_argument(
+        "what",
+        nargs="?",
+        choices=("experiments", "solvers", "platforms"),
+        help="restrict the listing to one registry (default: all)",
+    )
     p_list.set_defaults(func=_cmd_list)
 
     argv = list(sys.argv[1:] if argv is None else argv)

@@ -267,14 +267,9 @@ def grid_batch_executor(
         try:
             # Session engines: units for the same platform content share
             # one engine (and its caches) instead of rebuilding it.
-            engine = session.engine_for(
-                {
-                    "n_cores": int(payload["n_cores"]),
-                    "n_levels": int(payload["n_levels"]),
-                    "t_max_c": float(payload["t_max_c"]),
-                    "tau": float(payload.get("tau", 5e-6)),
-                }
-            )
+            from repro.runner.units import _platform_spec_doc
+
+            engine = session.engine_for(_platform_spec_doc(payload))
             # The checkpoint must precede the shared precompute so its
             # thermal work lands in this unit's stats row.
             mark = engine.checkpoint()

@@ -24,6 +24,7 @@ from repro.experiments.fig6 import fig6
 from repro.experiments.fig7 import fig7
 from repro.experiments.headline import headline
 from repro.experiments.motivation import table2, table3
+from repro.experiments.scaling import scaling_experiment
 from repro.experiments.table5 import table5
 from repro.experiments.tsp_comparison import tsp_comparison
 from repro.experiments.reactive_comparison import reactive_comparison
@@ -176,6 +177,24 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
                 ),
                 "m_cap": 16,
             },
+        ),
+        ExperimentSpec(
+            name="scaling",
+            run=scaling_experiment,
+            description="technology-scaling dark-silicon frontier "
+            "(generated tech platforms, 45-8 nm)",
+            quick={
+                "nodes": (45, 16),
+                "scenarios": ("itrs",),
+                "styles": ("io", "o3"),
+                "layer_counts": (1,),
+                "approaches": ("AO",),
+                "utilization_floors": (0.0,),
+                "n_cores": 4,
+                "n_levels": 3,
+                "m_cap": 16,
+            },
+            accepts_runner=True,
         ),
         ExperimentSpec(
             name="control",

@@ -9,7 +9,8 @@ throughout the paper's evaluation (65 nm, 35 C ambient, 4x4 mm cores).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -21,6 +22,9 @@ from repro.power.model import PowerModel
 from repro.thermal.model import ThermalModel
 from repro.thermal.params import RCParams, SingleLayerParams
 from repro.thermal.rc import build_rc_network, build_single_layer_network
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.platforms import PlatformSpec
 
 __all__ = ["Platform", "paper_platform"]
 
@@ -39,12 +43,19 @@ class Platform:
         DVFS transition overhead.
     t_max_c:
         Peak temperature threshold in Celsius.
+    spec:
+        Provenance: the :class:`~repro.platforms.PlatformSpec` this
+        platform was built from, or ``None`` for ad-hoc constructions.
+        Excluded from equality — two platforms with the same physics
+        compare (and content-hash) equal regardless of how they were
+        described.
     """
 
     model: ThermalModel
     ladder: VoltageLadder
     overhead: TransitionOverhead
     t_max_c: float
+    spec: "PlatformSpec | None" = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.t_max_c <= self.model.t_ambient_c:
@@ -74,12 +85,27 @@ class Platform:
         return self.model.network.floorplan
 
     def with_t_max(self, t_max_c: float) -> "Platform":
-        """Copy with a different temperature threshold (Fig. 7's sweep)."""
-        return replace(self, t_max_c=float(t_max_c))
+        """Copy with a different temperature threshold (Fig. 7's sweep).
+
+        The provenance spec, if any, is updated to describe the copy, so
+        rebuilding from ``copy.spec`` reproduces the copy's physics and
+        content-addressed cache keys stay consistent.
+        """
+        spec = self.spec
+        if spec is not None:
+            spec = spec.with_overrides(t_max_c=float(t_max_c))
+        return replace(self, t_max_c=float(t_max_c), spec=spec)
 
     def with_ladder(self, ladder: VoltageLadder) -> "Platform":
-        """Copy with a different voltage ladder (Fig. 6's sweep)."""
-        return replace(self, ladder=ladder)
+        """Copy with a different voltage ladder (Fig. 6's sweep).
+
+        As with :meth:`with_t_max`, the provenance spec follows the copy
+        (every spec family accepts explicit ``ladder_levels``).
+        """
+        spec = self.spec
+        if spec is not None:
+            spec = spec.with_overrides(ladder_levels=tuple(ladder.levels))
+        return replace(self, ladder=ladder, spec=spec)
 
     def feasible_constant(self, voltages) -> bool:
         """Whether a constant-mode assignment keeps ``T_inf`` under ``T_max``."""

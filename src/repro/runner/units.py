@@ -89,16 +89,31 @@ def units_hash(units: Sequence[WorkUnit]) -> str:
 # ----------------------------------------------------------------------
 
 
+def _platform_spec_doc(payload: Mapping[str, Any]):
+    """The platform description a solve_cell payload resolves through.
+
+    New-style payloads carry ``payload["platform"]`` — a
+    :class:`~repro.platforms.PlatformSpec` document or preset name.
+    Legacy payloads carry flat ``n_cores``/``n_levels``/``t_max_c``/
+    ``tau`` keys; those stay supported verbatim because unit ids hash
+    the payload, and changing the shape would orphan every journaled
+    comparison run.
+    """
+    if "platform" in payload:
+        return payload["platform"]
+    return {
+        "n_cores": int(payload["n_cores"]),
+        "n_levels": int(payload["n_levels"]),
+        "t_max_c": float(payload["t_max_c"]),
+        "tau": float(payload.get("tau", 5e-6)),
+    }
+
+
 def solve_cell_platform(payload: Mapping[str, Any]):
     """Build the :class:`~repro.platform.Platform` a solve_cell unit runs on."""
-    from repro.platform import paper_platform
+    from repro.platforms import PlatformSpec
 
-    return paper_platform(
-        int(payload["n_cores"]),
-        n_levels=int(payload["n_levels"]),
-        t_max_c=float(payload["t_max_c"]),
-        tau=float(payload.get("tau", 5e-6)),
-    )
+    return PlatformSpec.coerce(_platform_spec_doc(payload)).build()
 
 
 def solve_cell_outcome(
@@ -141,14 +156,7 @@ def solve_cell_outcome(
         # the platform build per unit.
         from repro.service.session import default_session
 
-        engine = default_session().engine_for(
-            {
-                "n_cores": int(payload["n_cores"]),
-                "n_levels": int(payload["n_levels"]),
-                "t_max_c": float(payload["t_max_c"]),
-                "tau": float(payload.get("tau", 5e-6)),
-            }
-        )
+        engine = default_session().engine_for(_platform_spec_doc(payload))
     spec = get_solver(str(payload["algo"]))
     params = dict(payload.get("params") or {})
     # With a caller-provided mark the stats row must span from *that*
@@ -162,9 +170,11 @@ def solve_cell_outcome(
         with span(
             "unit/solve_cell",
             algo=spec.name,
-            n_cores=int(payload["n_cores"]),
-            n_levels=int(payload["n_levels"]),
-            t_max_c=float(payload["t_max_c"]),
+            n_cores=int(payload.get("n_cores", engine.platform.n_cores)),
+            n_levels=int(
+                payload.get("n_levels", len(engine.platform.ladder.levels))
+            ),
+            t_max_c=float(payload.get("t_max_c", engine.platform.t_max_c)),
         ) as root:
             try:
                 result = guarded_solve(spec, engine, **params)

@@ -1,0 +1,35 @@
+"""Technology-scaling model: per-node tables and the platform generator.
+
+``repro.scaling`` turns the repository's single calibrated 65 nm
+platform into a family: Lumos-style scaling tables (45 -> 8 nm, ITRS vs
+conservative, in-order vs out-of-order cores) plus
+:func:`~repro.scaling.generator.tech_platform`, which emits a fully
+paper-compatible :class:`~repro.platform.Platform` for any sweep point
+— including 3D stacks.  The :mod:`repro.platforms` registry fronts this
+with named ``tech-<node>-<style>`` specs; the ``scaling`` experiment
+(``repro run scaling``) sweeps the family for the dark-silicon
+frontier.
+
+This package sits below the algorithm/experiment layers and must not
+import them (ruff TID253).
+"""
+
+from repro.scaling.generator import tech_ladder, tech_platform, tech_summary
+from repro.scaling.tables import (
+    CORE_STYLES,
+    SCENARIOS,
+    TECH_NODES,
+    dvfs_bounds_v,
+    frequency_ghz,
+)
+
+__all__ = [
+    "TECH_NODES",
+    "SCENARIOS",
+    "CORE_STYLES",
+    "tech_platform",
+    "tech_ladder",
+    "tech_summary",
+    "frequency_ghz",
+    "dvfs_bounds_v",
+]

@@ -1,0 +1,229 @@
+"""Generate paper-compatible platforms at any technology-scaling point.
+
+:func:`tech_platform` maps one ``(node, scenario, style)`` point of the
+scaling tables onto the objects the rest of the repository already
+understands — a calibrated-substrate :class:`~repro.platform.Platform`
+— so every solver, certificate route, grid kernel and cache works on
+generated platforms unchanged.  The mapping:
+
+* **Geometry** — square tiles sized from the per-node core area; core
+  counts without a paper layout get a near-square grid.
+* **Thermal network** — the calibrated 65 nm single-layer parameters
+  scaled by tile area: vertical (ambient) conductance and capacitance
+  scale with area, the boundary spreading term with the tile edge, the
+  lateral term (edge over pitch) is area-invariant.  Shrinking tiles
+  therefore lose heat-removal ability much faster than they lose power
+  — rising power density is what opens the dark-silicon regime.
+* **Power model** — nominal per-core power split by the node's leakage
+  share: ``alpha_lin = share * P / vdd`` (leakage, linear in v) and
+  ``gamma = (1 - share) * P / vdd^3`` (dynamic), so ``psi(vdd)`` equals
+  the table's nominal power exactly.  The leakage temperature slope
+  ``beta`` is set to the node's leakage share of the network's smallest
+  conductance eigenvalue — thermal-runaway pressure that grows with the
+  node while keeping ``G - E_beta`` positive definite by construction
+  (the generated platform always *builds*; it may still be thermally
+  infeasible, which solvers report honestly).
+* **Ladder** — ``n_levels`` evenly spaced voltages between the node's
+  threshold voltage and the overdrive bound ``1.3 * vdd``; the power
+  model's supported range is pinned to the same bounds.
+* **3D stacks** — ``stack_layers > 1`` stacks identical layers through
+  :func:`~repro.thermal.stack3d.build_3d_network`, with the inter-layer
+  conductance scaled by the same area ratio as the vertical path.
+
+Layering: this package sits below the algorithm and experiment layers
+and must not import them (enforced by the ruff TID253 ban).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.floorplan.layout import Floorplan
+from repro.floorplan.library import PAPER_CONFIGS
+from repro.platform import Platform
+from repro.power.dvfs import TransitionOverhead, VoltageLadder
+from repro.power.model import PowerModel
+from repro.scaling.tables import (
+    LEAKAGE_SHARE,
+    check_point,
+    core_area_mm2,
+    dvfs_bounds_v,
+    frequency_ghz,
+    nominal_power_w,
+    vdd_v,
+)
+from repro.thermal.model import ThermalModel
+from repro.thermal.params import SingleLayerParams
+from repro.thermal.rc import build_single_layer_network
+
+__all__ = ["tech_platform", "tech_ladder", "tech_summary"]
+
+#: The calibrated substrate's tile area (4 mm x 4 mm) that the scaled
+#: thermal parameters are stated relative to.
+_ANCHOR_TILE_AREA_MM2 = 16.0
+
+#: Calibrated 3D inter-layer conductance at the anchor tile area, W/K
+#: (matches :func:`repro.platform.platform_3d`'s default).
+_ANCHOR_G_INTERLAYER = 1.0
+
+#: ``beta`` as a fraction of the network's smallest conductance
+#: eigenvalue: the node's leakage share.  Always < 1, so the thermal
+#: model construction (``G - E_beta`` positive definite) never fails.
+_BETA_EIG_FRACTION = LEAKAGE_SHARE
+
+
+def _tech_floorplan(n_cores: int, tile_area_mm2: float) -> Floorplan:
+    """Square-tile floorplan for a core count at the node's tile size.
+
+    Paper core counts (2/3/6/9) keep the paper's layouts; other counts
+    get the tightest near-square grid with the first ``n_cores`` cells
+    occupied (row-major), which keeps adjacency deterministic.
+    """
+    side_m = math.sqrt(tile_area_mm2) * 1e-3
+    if n_cores in PAPER_CONFIGS:
+        rows, cols = PAPER_CONFIGS[n_cores]
+    else:
+        cols = int(math.ceil(math.sqrt(n_cores)))
+        rows = int(math.ceil(n_cores / cols))
+    from repro.floorplan.layout import CoreGeometry
+
+    return Floorplan(
+        rows=rows,
+        cols=cols,
+        geometry=CoreGeometry(width_m=side_m, height_m=side_m),
+        occupied=tuple(range(n_cores)),
+    )
+
+
+def _scaled_params(area_ratio: float) -> SingleLayerParams:
+    """The calibrated single-layer parameters scaled to a new tile area.
+
+    Vertical plate conductance and heat capacity scale with area, the
+    boundary spreading term with the tile edge; the lateral term is
+    ``k * edge * t / pitch`` with edge and pitch scaling together, so it
+    stays fixed.
+    """
+    return SingleLayerParams().scaled(
+        g_direct=area_ratio,
+        g_boundary=math.sqrt(area_ratio),
+        c_core=area_ratio,
+    )
+
+
+def tech_ladder(node: int, scenario: str, n_levels: int = 4) -> VoltageLadder:
+    """``n_levels`` evenly spaced voltages over the node's DVFS range."""
+    if n_levels < 2:
+        raise ConfigurationError(
+            f"a technology ladder needs >= 2 levels, got {n_levels}"
+        )
+    lo, hi = dvfs_bounds_v(node, scenario)
+    levels = tuple(
+        round(lo + (hi - lo) * k / (n_levels - 1), 6) for k in range(n_levels)
+    )
+    return VoltageLadder(levels)
+
+
+def tech_platform(
+    node: int = 45,
+    scenario: str = "itrs",
+    style: str = "io",
+    n_cores: int = 9,
+    n_levels: int = 4,
+    stack_layers: int = 1,
+    t_max_c: float = 55.0,
+    t_ambient_c: float = 35.0,
+    tau: float = 5e-6,
+    sidewall_fraction: float = 0.05,
+) -> Platform:
+    """Build the platform for one technology-scaling sweep point.
+
+    Parameters
+    ----------
+    node:
+        Technology node in nm (45/32/22/16/11/8).
+    scenario:
+        ``"itrs"`` (aggressive roadmap) or ``"cons"`` (conservative).
+    style:
+        Core microarchitecture anchor: ``"io"`` or ``"o3"``.
+    n_cores:
+        Cores per layer.
+    n_levels:
+        Ladder size (evenly spaced over the node's DVFS voltage range).
+    stack_layers:
+        1 for a planar chip; > 1 stacks identical layers (layer 0 is
+        sink-adjacent), multiplying both compute and power density.
+    t_max_c, t_ambient_c, tau:
+        Threshold, ambient and DVFS transition overhead, as everywhere.
+    sidewall_fraction:
+        Ambient-conductance fraction upper stack layers keep.
+    """
+    check_point(int(node), str(scenario), str(style))
+    node, scenario, style = int(node), str(scenario), str(style)
+    if n_cores < 1:
+        raise ConfigurationError(f"n_cores must be >= 1, got {n_cores}")
+    if stack_layers < 1:
+        raise ConfigurationError(
+            f"stack_layers must be >= 1, got {stack_layers}"
+        )
+
+    area_mm2 = core_area_mm2(node, style)
+    area_ratio = area_mm2 / _ANCHOR_TILE_AREA_MM2
+    params = _scaled_params(area_ratio)
+    floorplan = _tech_floorplan(int(n_cores), area_mm2)
+
+    if stack_layers == 1:
+        network = build_single_layer_network(floorplan, params)
+    else:
+        from repro.floorplan.stack3d import Stack3D
+        from repro.thermal.stack3d import build_3d_network
+
+        network = build_3d_network(
+            Stack3D(base=floorplan, n_layers=int(stack_layers)),
+            params=params,
+            g_interlayer=_ANCHOR_G_INTERLAYER * area_ratio,
+            sidewall_fraction=float(sidewall_fraction),
+        )
+
+    vdd = vdd_v(node, scenario)
+    p_nom = nominal_power_w(node, scenario, style)
+    share = LEAKAGE_SHARE[node]
+    ladder = tech_ladder(node, scenario, int(n_levels))
+    # Leakage feedback: the node's share of the weakest heat-removal
+    # mode.  eigvalsh of a small symmetric matrix — deterministic.
+    lambda_min = float(
+        np.linalg.eigvalsh(np.asarray(network.conductance, dtype=float))[0]
+    )
+    power = PowerModel(
+        alpha_lin=share * p_nom / vdd,
+        gamma=(1.0 - share) * p_nom / vdd**3,
+        beta=_BETA_EIG_FRACTION[node] * lambda_min,
+        v_min=ladder.v_min,
+        v_max=ladder.v_max,
+    )
+    model = ThermalModel(network, power, t_ambient_c=float(t_ambient_c))
+    return Platform(
+        model=model,
+        ladder=ladder,
+        overhead=TransitionOverhead(tau=float(tau)),
+        t_max_c=float(t_max_c),
+    )
+
+
+def tech_summary(node: int, scenario: str, style: str) -> dict[str, float]:
+    """Derived headline quantities of one sweep point (for docs/listings)."""
+    check_point(int(node), str(scenario), str(style))
+    node, scenario, style = int(node), str(scenario), str(style)
+    lo, hi = dvfs_bounds_v(node, scenario)
+    return {
+        "node_nm": float(node),
+        "vdd_v": vdd_v(node, scenario),
+        "frequency_ghz": frequency_ghz(node, scenario, style),
+        "nominal_power_w": nominal_power_w(node, scenario, style),
+        "core_area_mm2": core_area_mm2(node, style),
+        "v_lo": lo,
+        "v_hi": hi,
+        "leakage_share": LEAKAGE_SHARE[node],
+    }

@@ -1,0 +1,173 @@
+"""Technology-scaling tables: 45 -> 8 nm under ITRS vs conservative scaling.
+
+The paper evaluates one calibrated node; the dark-silicon question —
+*when does thermally-gated capacity overtake what oscillation can
+recover?* — needs the trajectory across nodes.  This module holds the
+per-node scaling factors, in the style of the Lumos dark-silicon model
+(Wang & Skadron): supply voltage, frequency, dynamic power and area all
+scale relative to a 45 nm anchor, under two scenarios:
+
+* ``"itrs"`` — the aggressive ITRS roadmap projections (frequency keeps
+  climbing, vdd keeps dropping);
+* ``"cons"`` — conservative scaling (vdd nearly flat below 22 nm,
+  modest frequency gains) — the regime where power density explodes.
+
+Two core styles anchor the absolute numbers: ``"io"`` (in-order, small
+and efficient) and ``"o3"`` (out-of-order, big and power-hungry).  The
+threshold voltage ``vth`` per node bounds the DVFS ladder from below
+(a core cannot run meaningfully below threshold) while the upper bound
+is a fixed overdrive ratio above nominal vdd.
+
+The leakage share table is this repository's own modeling choice (Lumos
+keeps leakage implicit): the fraction of nominal power that is leakage
+grows monotonically as nodes shrink, which is what couples scaling to
+the thermal feedback term ``beta`` and ultimately produces the
+dark-silicon regime the ``scaling`` experiment maps.
+
+All tables are plain dicts of floats — no numpy — so platform specs
+built from them stay trivially JSON-able.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "TECH_NODES",
+    "SCENARIOS",
+    "CORE_STYLES",
+    "VDD_BASE_V",
+    "VDD_SCALE",
+    "FREQ_SCALE",
+    "POWER_SCALE",
+    "AREA_SCALE",
+    "VTH_V",
+    "FREQ_BASE_GHZ",
+    "POWER_BASE_W",
+    "AREA_BASE_MM2",
+    "DVFS_UPPER_RATIO",
+    "LEAKAGE_SHARE",
+    "check_point",
+    "vdd_v",
+    "frequency_ghz",
+    "nominal_power_w",
+    "core_area_mm2",
+    "dvfs_bounds_v",
+]
+
+#: Modeled nodes, newest last.  45 nm is the scaling anchor.
+TECH_NODES: tuple[int, ...] = (45, 32, 22, 16, 11, 8)
+
+#: Scaling scenarios: aggressive roadmap vs conservative reality.
+SCENARIOS: tuple[str, ...] = ("itrs", "cons")
+
+#: Core microarchitecture styles the absolute anchors are stated for.
+CORE_STYLES: tuple[str, ...] = ("io", "o3")
+
+#: Nominal supply at the 45 nm anchor, volts.  This is also the unit the
+#: paper's normalized ladder speaks — the calibrated platform's ladder
+#: top (1.3 V) is exactly ``DVFS_UPPER_RATIO * VDD_BASE_V``.
+VDD_BASE_V = 1.0
+
+#: Nominal vdd relative to the 45 nm anchor, per scenario and node.
+VDD_SCALE: dict[str, dict[int, float]] = {
+    "itrs": {45: 1.0, 32: 0.93, 22: 0.84, 16: 0.75, 11: 0.68, 8: 0.62},
+    "cons": {45: 1.0, 32: 0.93, 22: 0.88, 16: 0.86, 11: 0.84, 8: 0.84},
+}
+
+#: Core frequency relative to the 45 nm anchor.
+FREQ_SCALE: dict[str, dict[int, float]] = {
+    "itrs": {45: 1.0, 32: 1.09, 22: 2.38, 16: 3.21, 11: 4.17, 8: 3.85},
+    "cons": {45: 1.0, 32: 1.10, 22: 1.19, 16: 1.25, 11: 1.30, 8: 1.34},
+}
+
+#: Nominal core power relative to the 45 nm anchor.
+POWER_SCALE: dict[str, dict[int, float]] = {
+    "itrs": {45: 1.0, 32: 0.66, 22: 0.54, 16: 0.38, 11: 0.25, 8: 0.12},
+    "cons": {45: 1.0, 32: 0.71, 22: 0.52, 16: 0.39, 11: 0.29, 8: 0.22},
+}
+
+#: Core area relative to the 45 nm anchor — halves per node.
+AREA_SCALE: dict[int, float] = {
+    45: 1.0, 32: 0.5, 22: 0.25, 16: 0.125, 11: 0.0625, 8: 0.03125,
+}
+
+#: Threshold voltage per node, volts (ITRS high-performance device).
+VTH_V: dict[int, float] = {
+    45: 0.3201, 32: 0.2970, 22: 0.2673, 16: 0.2409, 11: 0.2178, 8: 0.1980,
+}
+
+#: Absolute 45 nm anchors per core style.
+FREQ_BASE_GHZ: dict[str, float] = {"io": 4.2, "o3": 3.7}
+POWER_BASE_W: dict[str, float] = {"io": 6.14, "o3": 19.83}
+AREA_BASE_MM2: dict[str, float] = {"io": 7.65, "o3": 26.48}
+
+#: DVFS overdrive: the ladder tops out at this ratio above nominal vdd.
+DVFS_UPPER_RATIO = 1.3
+
+#: Fraction of nominal power that is leakage, growing as nodes shrink
+#: (sub-threshold leakage worsens with thinner oxides and lower vth).
+#: Modeled, monotone; drives both the alpha/gamma split and the thermal
+#: feedback slope of generated platforms.
+LEAKAGE_SHARE: dict[int, float] = {
+    45: 0.20, 32: 0.25, 22: 0.30, 16: 0.36, 11: 0.43, 8: 0.50,
+}
+
+
+def check_point(node: int, scenario: str, style: str) -> None:
+    """Validate one (node, scenario, style) sweep point.
+
+    Raises
+    ------
+    ConfigurationError
+        Naming the valid values, so CLI typos fail with a usable message.
+    """
+    if node not in AREA_SCALE:
+        raise ConfigurationError(
+            f"unknown technology node {node!r}; modeled: {TECH_NODES}"
+        )
+    if scenario not in VDD_SCALE:
+        raise ConfigurationError(
+            f"unknown scaling scenario {scenario!r}; known: {SCENARIOS}"
+        )
+    if style not in FREQ_BASE_GHZ:
+        raise ConfigurationError(
+            f"unknown core style {style!r}; known: {CORE_STYLES}"
+        )
+
+
+def vdd_v(node: int, scenario: str) -> float:
+    """Nominal supply voltage at a node, volts."""
+    return VDD_BASE_V * VDD_SCALE[scenario][node]
+
+
+def frequency_ghz(node: int, scenario: str, style: str) -> float:
+    """Nominal core frequency at a node, GHz (absolute-performance anchor)."""
+    return FREQ_BASE_GHZ[style] * FREQ_SCALE[scenario][node]
+
+
+def nominal_power_w(node: int, scenario: str, style: str) -> float:
+    """Nominal per-core power at a node, watts."""
+    return POWER_BASE_W[style] * POWER_SCALE[scenario][node]
+
+
+def core_area_mm2(node: int, style: str) -> float:
+    """Core tile area at a node, mm^2."""
+    return AREA_BASE_MM2[style] * AREA_SCALE[node]
+
+
+def dvfs_bounds_v(node: int, scenario: str) -> tuple[float, float]:
+    """The DVFS ladder's voltage range ``(v_lo, v_hi)`` at a node.
+
+    The lower bound is the threshold voltage (below it the core cannot
+    switch usefully), the upper the fixed overdrive ratio above nominal
+    vdd — both shrink with the node, which is the ladder-compression
+    half of the dark-silicon story.
+    """
+    lo = VTH_V[node]
+    hi = DVFS_UPPER_RATIO * vdd_v(node, scenario)
+    if hi <= lo:  # pragma: no cover - impossible for the modeled tables
+        raise ConfigurationError(
+            f"degenerate DVFS range at {node} nm/{scenario}: [{lo}, {hi}]"
+        )
+    return lo, hi

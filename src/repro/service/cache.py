@@ -50,6 +50,7 @@ from typing import Any, Mapping
 import numpy as np
 
 from repro.obs import METRICS
+from repro.platform import Platform
 from repro.runner.units import canonical_json
 
 __all__ = [
@@ -81,7 +82,17 @@ def platform_hash(platform) -> str:
     big.LITTLE platform never collides with its homogeneous base),
     ambient, the voltage ladder, the DVFS transition overhead, and the
     temperature threshold.
+
+    Besides a built :class:`~repro.platform.Platform`, any
+    :meth:`PlatformSpec.coerce <repro.platforms.PlatformSpec.coerce>`
+    form is accepted — a spec, a preset name, a spec document or a
+    legacy flat dict — and is built first, so every description of the
+    same physics lands on the same key.
     """
+    if not isinstance(platform, Platform):
+        from repro.platforms import PlatformSpec
+
+        platform = PlatformSpec.coerce(platform).build()
     model = platform.model
     h = hashlib.sha256()
     h.update(np.ascontiguousarray(model.a, dtype=float).tobytes())

@@ -42,7 +42,6 @@ from typing import Any
 from repro.engine import EngineStats, ThermalEngine
 from repro.obs import METRICS, span
 from repro.platform import Platform
-from repro.runner.units import canonical_json
 from repro.service.cache import (
     ScheduleCache,
     cache_enabled,
@@ -187,52 +186,53 @@ class SchedulerSession:
     # ------------------------------------------------------------------
 
     def _resolve(
-        self, platform: "Platform | ThermalEngine | Mapping[str, Any]"
-    ) -> tuple[str, Platform | None, dict[str, Any] | None]:
+        self, platform: "Platform | ThermalEngine | Mapping[str, Any] | str"
+    ) -> tuple[str, Platform | None, Any]:
         """``(platform_key, platform_or_None, spec_or_None)`` for any form.
 
-        A spec dict whose canonical form was seen before resolves to its
-        hash without rebuilding the platform — the warm-path cost of a
-        served request is then two dict lookups and one sha256 of a
-        small key document.
+        Spec forms — a preset name, a
+        :class:`~repro.platforms.PlatformSpec`, a spec document or a
+        legacy flat dict — coerce silently through the spec registry; a
+        spec whose canonical form was seen before resolves to its hash
+        without rebuilding the platform, so the warm-path cost of a
+        served request is two dict lookups and one sha256 of a small key
+        document.
         """
         if isinstance(platform, ThermalEngine):
             return platform_hash(platform.platform), platform.platform, None
         if isinstance(platform, Platform):
             return platform_hash(platform), platform, None
-        spec = dict(platform)
-        cjson = canonical_json(spec)
+        from repro.platforms import PlatformSpec
+
+        spec = PlatformSpec.coerce(platform)
+        cjson = spec.canonical()
         key = self._spec_memo.get(cjson)
         if key is not None:
             self._spec_memo.move_to_end(cjson)
             return key, None, spec
-        built = self._build_platform(spec)
+        built = spec.build()
         key = platform_hash(built)
         while len(self._spec_memo) >= _SPEC_MEMO_SIZE:
             self._spec_memo.popitem(last=False)
         self._spec_memo[cjson] = key
         return key, built, spec
 
-    @staticmethod
-    def _build_platform(spec: Mapping[str, Any]) -> Platform:
-        from repro.api import load_platform
-
-        return load_platform(spec)
-
     def platform_key(
-        self, platform: "Platform | ThermalEngine | Mapping[str, Any]"
+        self, platform: "Platform | ThermalEngine | Mapping[str, Any] | str"
     ) -> str:
-        """The content hash a platform (or spec dict) resolves to."""
+        """The content hash a platform (or any spec form) resolves to."""
         return self._resolve(platform)[0]
 
     def engine_for(
-        self, platform: "Platform | ThermalEngine | Mapping[str, Any]"
+        self, platform: "Platform | ThermalEngine | Mapping[str, Any] | str"
     ) -> ThermalEngine:
         """The session's shared engine for this platform content (LRU).
 
         Accepts a built :class:`Platform`, an existing engine (adopted
         under its content hash so later spec-form requests share it), or
-        a spec dict with :func:`repro.api.load_platform` keys.
+        any :meth:`PlatformSpec.coerce
+        <repro.platforms.PlatformSpec.coerce>` form — a preset name, a
+        spec, a spec document or a legacy flat dict.
         """
         key, built, spec = self._resolve(platform)
         engine = self._engines.get(key)
@@ -243,7 +243,7 @@ class SchedulerSession:
             engine = platform
         else:
             if built is None:
-                built = self._build_platform(spec or {})
+                built = spec.build()
             engine = ThermalEngine(built)
         while len(self._engines) >= self.max_engines:
             self._engines.popitem(last=False)
@@ -263,7 +263,7 @@ class SchedulerSession:
 
     def solve(
         self,
-        platform: "Platform | ThermalEngine | Mapping[str, Any]",
+        platform: "Platform | ThermalEngine | Mapping[str, Any] | str",
         solver,
         params: Mapping[str, Any] | None = None,
         *,

@@ -201,10 +201,8 @@ class TestSolve:
         assert main(["solve", "EXS", "-o", "m_cap=8"]) == 1
         assert "does not accept" in capsys.readouterr().err
 
-    def test_platform_keys_match_paper_platform(self):
-        import inspect
+    def test_platform_keys_match_paper_family(self):
+        from repro.platforms import get_family
 
-        from repro.platform import paper_platform
-
-        params = set(inspect.signature(paper_platform).parameters)
+        params = set(get_family("paper").params) | {"platform"}
         assert set(PLATFORM_KEYS) <= params

@@ -14,6 +14,7 @@ from pathlib import Path
 import repro
 
 SRC_OBS = Path(__file__).resolve().parents[1] / "src" / "repro" / "obs"
+SRC_SCALING = Path(__file__).resolve().parents[1] / "src" / "repro" / "scaling"
 
 #: The frozen surface.  Edit ONLY when deliberately publishing/retiring
 #: a public name (and say so in the changelog).
@@ -21,6 +22,8 @@ PUBLIC_SURFACE = sorted([
     "Platform",
     "paper_platform",
     "platform_3d",
+    "PlatformSpec",
+    "platform_names",
     "load_platform",
     "evaluate",
     "EvaluationResult",
@@ -112,7 +115,7 @@ class TestFrozenSurface:
             assert first in ("platform", "engine"), func
 
     def test_solvers_accept_platform_and_engine(self):
-        platform = repro.load_platform(n_cores=2, n_levels=2)
+        platform = repro.load_platform("paper", n_cores=2, n_levels=2)
         engine = repro.ThermalEngine(platform)
         a = repro.lns(platform)
         b = repro.lns(engine)
@@ -177,3 +180,32 @@ class TestObsLayering:
             text=True,
         )
         assert proc.returncode == 0, proc.stderr
+
+
+class TestScalingLayering:
+    """repro.scaling is a platform *generator*, below solvers/experiments.
+
+    The ``scaling`` experiment imports the generator, never the other way
+    round; mirrors the ruff TID ban (pyproject.toml) so the rule holds
+    even where ruff isn't installed.
+    """
+
+    BANNED_PREFIXES = ("repro.algorithms", "repro.experiments")
+
+    def test_scaling_never_imports_upper_layers(self):
+        offenders = []
+        for path in sorted(SRC_SCALING.glob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                modules = []
+                if isinstance(node, ast.Import):
+                    modules = [alias.name for alias in node.names]
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    modules = [node.module]
+                for module in modules:
+                    if module.startswith(self.BANNED_PREFIXES):
+                        offenders.append(f"{path.name}: {module}")
+        assert not offenders, (
+            "repro.scaling must not import solver/experiment layers: "
+            + ", ".join(offenders)
+        )
