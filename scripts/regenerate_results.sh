@@ -26,4 +26,17 @@ with open("results/scaling.txt", "w") as fh:
     fh.write(res.format() + "\n")
 print(open("results/scaling.txt").read())
 EOF
+# realtime likewise: JSON headline (schedulability gap) + ascii figure.
+echo "== realtime =="
+"$PY" - <<'EOF'
+import json
+from repro.experiments.registry import run_experiment
+res = run_experiment("realtime")
+with open("results/realtime.json", "w") as fh:
+    json.dump(res.headline(), fh, indent=1, sort_keys=True)
+    fh.write("\n")
+with open("results/realtime.txt", "w") as fh:
+    fh.write(res.format() + "\n")
+print(open("results/realtime.txt").read())
+EOF
 echo "all results regenerated under results/"

@@ -78,6 +78,12 @@ from repro.thermal import ThermalModel, peak_temperature, stepup_peak_temperatur
 from repro.floorplan import Floorplan, grid_floorplan, paper_floorplan
 from repro.algorithms.minpeak import minimize_peak
 from repro.workload import TaskSet, PeriodicTask, schedule_taskset
+from repro.realtime import (
+    FrameWorkload,
+    RTTask,
+    plan_frames,
+    simulate_recovery,
+)
 from repro.sim import cosimulate
 from repro.experiments import run_experiment
 from repro.errors import ReproError
@@ -135,6 +141,10 @@ __all__ = [
     "TaskSet",
     "PeriodicTask",
     "schedule_taskset",
+    "FrameWorkload",
+    "RTTask",
+    "plan_frames",
+    "simulate_recovery",
     "cosimulate",
     "run_experiment",
     "ReproError",

@@ -41,7 +41,12 @@ from repro.algorithms.minpeak import minimize_peak
 from repro.algorithms.pco import pco
 from repro.algorithms.reactive import reactive_throttling
 from repro.engine import ThermalEngine, engine_entrypoint
-from repro.errors import InfeasibleError, SolverError, ThermalModelError
+from repro.errors import (
+    ConfigurationError,
+    InfeasibleError,
+    SolverError,
+    ThermalModelError,
+)
 from repro.obs import METRICS, span
 from repro.platform import Platform
 from repro.safety.certificate import (
@@ -52,7 +57,15 @@ from repro.safety.certificate import (
 from repro.safety.fallback import FALLBACK_CHAIN, run_fallback_hop
 from repro.schedule.builders import constant_schedule
 
-__all__ = ["SolverSpec", "SOLVERS", "get_solver", "guarded_solve", "solve"]
+__all__ = [
+    "MARGIN_POLICIES",
+    "MARGIN_POLICY_CONDITION",
+    "SolverSpec",
+    "SOLVERS",
+    "get_solver",
+    "guarded_solve",
+    "solve",
+]
 
 
 @engine_entrypoint("continuous")
@@ -345,6 +358,15 @@ def solve(
 #: answer*, not a failure, and no fallback can contradict it.
 _DEGRADABLE = (SolverError, ThermalModelError, np.linalg.LinAlgError)
 
+#: Condition number of the thermal conductance system above which the
+#: ``"shrink"`` margin policy distrusts the certified margin and
+#: re-solves against a threshold tightened by the certificate's observed
+#: reference-route disagreement.
+MARGIN_POLICY_CONDITION = 1e3
+
+#: Values :func:`guarded_solve` accepts for ``margin_policy``.
+MARGIN_POLICIES = (None, "off", "shrink")
+
 
 def guarded_solve(
     solver: str | SolverSpec,
@@ -352,6 +374,7 @@ def guarded_solve(
     *,
     certify_tolerance: float | None = None,
     fallback_period: float = 0.02,
+    margin_policy: str | None = None,
     **params,
 ) -> SchedulerResult:
     """Run a solver with certificate gating and graceful degradation.
@@ -367,15 +390,117 @@ def guarded_solve(
     the *requested* solver's name (grid assembly keys rows by it) and
     records what happened in ``details["fallback"]``.
 
+    ``margin_policy="shrink"`` adds a post-hoc robustness pass for
+    ill-conditioned platforms: when the conductance system's condition
+    number is at least :data:`MARGIN_POLICY_CONDITION` and the
+    certificate's two reference routes disagree, the solve is repeated
+    against ``T_max`` shrunk by that observed disagreement, and the
+    tightened result is kept if it stays feasible (re-certified against
+    the *original* threshold, so the bought margin is visible).  The
+    outcome — applied or not, and why — lands in
+    ``details["margin_policy"]``.
+
     Raises
     ------
     InfeasibleError
         Propagated untouched — infeasibility is an answer, not a crash.
     """
+    if margin_policy not in MARGIN_POLICIES:
+        raise ConfigurationError(
+            f"unknown margin_policy {margin_policy!r}; "
+            f"expected one of {MARGIN_POLICIES}"
+        )
     spec = solver if isinstance(solver, SolverSpec) else get_solver(solver)
     engine = ThermalEngine.ensure(platform)
     tolerance = DEFAULT_TOLERANCE if certify_tolerance is None else certify_tolerance
+    result = _guarded(spec, engine, tolerance, fallback_period, params)
+    if margin_policy != "shrink":
+        return result
+    return _apply_margin_policy(
+        spec, engine, result, tolerance, fallback_period, params
+    )
 
+
+def _apply_margin_policy(
+    spec: SolverSpec,
+    engine: ThermalEngine,
+    result: SchedulerResult,
+    tolerance: float,
+    fallback_period: float,
+    params: Mapping,
+) -> SchedulerResult:
+    """The ``"shrink"`` margin policy: distrust margins when ill-conditioned.
+
+    Tightens ``T_max`` by the certificate's observed reference-route
+    disagreement and re-solves; keeps the original result whenever the
+    platform is well conditioned, there is no disagreement, or the
+    tightened problem turns out infeasible.
+    """
+    cond = float(engine.condition_number())
+    cert = result.certificate
+    disagreement = float(cert.disagreement) if cert is not None else 0.0
+    record: dict = {
+        "policy": "shrink",
+        "applied": False,
+        "condition_number": cond,
+        "condition_threshold": MARGIN_POLICY_CONDITION,
+        "disagreement": disagreement,
+        "shrink_theta": 0.0,
+    }
+    if cond < MARGIN_POLICY_CONDITION:
+        record["reason"] = "well conditioned"
+        return replace(result, details={**result.details, "margin_policy": record})
+    if disagreement <= 0.0:
+        record["reason"] = "reference routes agree"
+        return replace(result, details={**result.details, "margin_policy": record})
+    shrunk_t_max = engine.platform.t_max_c - disagreement
+    if shrunk_t_max <= engine.model.t_ambient_c:
+        record["reason"] = "shrunk T_max would not exceed ambient"
+        return replace(result, details={**result.details, "margin_policy": record})
+    shrunk_engine = ThermalEngine.ensure(
+        engine.platform.with_t_max(shrunk_t_max)
+    )
+    with span("safety/margin_policy", solver=spec.name, shrink=disagreement):
+        METRICS.counter("safety.margin_policy").inc()
+        try:
+            tightened = _guarded(
+                spec, shrunk_engine, tolerance, fallback_period, params
+            )
+        except InfeasibleError:
+            record["reason"] = "tightened solve infeasible"
+            return replace(
+                result, details={**result.details, "margin_policy": record}
+            )
+    if not tightened.feasible:
+        record["reason"] = "tightened solve infeasible"
+        return replace(result, details={**result.details, "margin_policy": record})
+    # Re-certify against the *original* threshold so the margin the
+    # shrink bought is stated against the real T_max.
+    final_cert = certify(
+        engine,
+        tightened.schedule,
+        tolerance=tolerance,
+        claimed_peak=tightened.peak_theta,
+    )
+    record["applied"] = True
+    record["shrink_theta"] = disagreement
+    record["tightened_t_max_c"] = float(shrunk_t_max)
+    return replace(
+        tightened,
+        certificate=final_cert,
+        feasible=bool(final_cert.feasible),
+        details={**tightened.details, "margin_policy": record},
+    )
+
+
+def _guarded(
+    spec: SolverSpec,
+    engine: ThermalEngine,
+    tolerance: float,
+    fallback_period: float,
+    params: Mapping,
+) -> SchedulerResult:
+    """The certificate-gated solve with fallback degradation."""
     failure: str
     try:
         result = spec.solve(engine, certify_tolerance=tolerance, **params)

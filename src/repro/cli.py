@@ -314,7 +314,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     session = default_session()
     trace_sink = _open_trace(args.trace) if args.trace else None
     try:
-        outcome = session.solve(platform_spec, spec, options)
+        outcome = session.solve(
+            platform_spec, spec, options,
+            margin_policy=getattr(args, "margin_policy", None),
+        )
     except Exception as exc:  # surface solver errors as a clean exit code
         print(f"{spec.name} failed: {exc}", file=sys.stderr)
         return 1
@@ -326,6 +329,16 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         print(f"{spec.name} failed: {outcome.detail}", file=sys.stderr)
         return 1
     print(outcome.result.summary())
+    policy = (outcome.result.details or {}).get("margin_policy")
+    if policy:
+        applied = "applied" if policy.get("applied") else (
+            f"not applied ({policy.get('reason', 'n/a')})"
+        )
+        print(
+            f"margin policy {policy.get('policy')}: {applied}, "
+            f"cond={policy.get('condition_number'):.3g}, "
+            f"shrink={policy.get('shrink_theta'):.3g} K"
+        )
     if outcome.cached:
         print(f"[served from schedule cache {outcome.cache_key}]")
     if outcome.stats is not None:
@@ -711,6 +724,16 @@ def main(argv: list[str] | None = None) -> int:
         "--trace",
         metavar="PATH",
         help="stream the solver's observability spans to PATH as JSON Lines",
+    )
+    p_solve.add_argument(
+        "--margin-policy",
+        choices=("off", "shrink"),
+        default="off",
+        help=(
+            "'shrink' re-solves against a T_max tightened by the "
+            "certificate's reference-route disagreement on "
+            "ill-conditioned platforms"
+        ),
     )
     p_solve.set_defaults(func=_cmd_solve)
 

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.experiments.reporting import ascii_plot, ascii_table
 from repro.platform import paper_platform
+from repro.safety.faults import FaultSpec
 from repro.runner import RunnerConfig, RunReport, run as run_units
 from repro.runner.units import WorkUnit
 from repro.schedule.serialization import result_from_dict
@@ -233,11 +234,15 @@ def control_units(
     for intensity, child_seed in zip(intensities, seeds):
         faults = None
         if intensity > 0:
-            faults = {
-                "sensor_noise_sigma": SIGMA_PER_INTENSITY * intensity,
-                "sensor_dropout_prob": DROPOUT_PER_INTENSITY * intensity,
-                "seed": int(child_seed),
-            }
+            # The *fully-sampled* spec (every knob, post-seed draw) goes
+            # into the payload, so the journal row alone replays a
+            # failed unit bit-exactly on --resume — no field defaults
+            # left to drift between versions.
+            faults = FaultSpec(
+                sensor_noise_sigma=SIGMA_PER_INTENSITY * intensity,
+                sensor_dropout_prob=DROPOUT_PER_INTENSITY * intensity,
+                seed=int(child_seed),
+            ).as_dict()
         units.append(
             WorkUnit(
                 kind="solve_cell",

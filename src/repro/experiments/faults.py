@@ -26,9 +26,18 @@ from repro.experiments.control import spawn_fault_seeds
 from repro.experiments.reporting import ascii_table
 from repro.platform import paper_platform
 from repro.safety.certificate import SafetyCertificate
-from repro.safety.faults import FaultSpec, perturbed_peak_batch
+from repro.safety.faults import (
+    FaultSpec,
+    perturbed_peak_batch,
+    stacked_perturbed_peak,
+)
 
-__all__ = ["FaultScenarioRow", "FaultsResult", "faults_experiment"]
+__all__ = [
+    "FaultScenarioRow",
+    "StackedFaultRow",
+    "FaultsResult",
+    "faults_experiment",
+]
 
 #: Default fault-injection sweep: one knob at a time, then combined.
 DEFAULT_SCENARIOS: tuple[tuple[str, dict], ...] = (
@@ -38,6 +47,19 @@ DEFAULT_SCENARIOS: tuple[tuple[str, dict], ...] = (
     ("noise + dropout", {"sensor_noise_sigma": 0.5, "sensor_dropout_prob": 0.3}),
     ("stuck core 0 @ max", {"stuck_core": 0, "stuck_level": -1}),
     ("ambient +2 K", {"ambient_drift_k": 2.0}),
+)
+
+#: Default 3D-stack structural-fault sweep: inter-layer TSV conductance
+#: derating and per-layer ambient gradients, alone and combined.
+DEFAULT_STACKED_SCENARIOS: tuple[tuple[str, dict], ...] = (
+    ("stack clean", {}),
+    ("TSV derated 30%", {"tsv_derating": 0.3}),
+    ("TSV derated 60%", {"tsv_derating": 0.6}),
+    ("layer gradient +1.5 K", {"layer_ambient_gradient_k": 1.5}),
+    (
+        "TSV 30% + gradient +1.5 K",
+        {"tsv_derating": 0.3, "layer_ambient_gradient_k": 1.5},
+    ),
 )
 
 
@@ -55,6 +77,23 @@ class FaultScenarioRow:
 
 
 @dataclass(frozen=True)
+class StackedFaultRow:
+    """One structural fault scenario on the 2-layer stacked platform.
+
+    TSV derating and layer ambient gradients are *physical* faults: they
+    change the conductance matrix and boundary condition the certified
+    schedule runs on, so — like stuck actuators and ambient drift — they
+    move AO's margin, and :func:`repro.safety.faults.stacked_perturbed_peak`
+    prices exactly how much.
+    """
+
+    name: str
+    faults: FaultSpec
+    perturbed_peak: float
+    perturbed_margin: float
+
+
+@dataclass(frozen=True)
 class FaultsResult:
     """Outcome of the fault-injection experiment."""
 
@@ -63,6 +102,8 @@ class FaultsResult:
     ao_certificate: SafetyCertificate
     theta_max: float
     seed: int = 0
+    stacked_rows: tuple[StackedFaultRow, ...] = ()
+    stacked_theta_max: float | None = None
 
     @property
     def certificate_sensor_immune(self) -> bool:
@@ -105,6 +146,30 @@ class FaultsResult:
                 else "WARNING: a sensor-only scenario moved the AO margin"
             ),
         ]
+        if self.stacked_rows:
+            lines += [
+                "",
+                ascii_table(
+                    ["scenario", "faulted peak", "margin (K)", "T_max"],
+                    [
+                        (
+                            row.name,
+                            row.perturbed_peak,
+                            f"{row.perturbed_margin:+.2f}",
+                            (
+                                "OK"
+                                if row.perturbed_margin >= 0
+                                else "VIOLATION"
+                            ),
+                        )
+                        for row in self.stacked_rows
+                    ],
+                    title=(
+                        "2-layer stack structural faults — AO schedule "
+                        "re-priced under TSV derating / layer gradients"
+                    ),
+                ),
+            ]
         return "\n".join(lines)
 
 
@@ -117,6 +182,9 @@ def faults_experiment(
     guard_band: float = 0.0,
     m_cap: int = 64,
     seed: int = 0,
+    stacked_scenarios: tuple[tuple[str, dict], ...] = DEFAULT_STACKED_SCENARIOS,
+    stack_rows: int = 2,
+    stack_cols: int = 2,
 ) -> FaultsResult:
     """Sweep fault scenarios over the reactive loop and the AO schedule.
 
@@ -133,6 +201,10 @@ def faults_experiment(
         (a scenario whose kwargs pin ``seed`` explicitly keeps its pin).
         The whole result is a pure function of this integer — two runs
         at the same seed are bitwise identical.
+    stacked_scenarios:
+        Structural-fault rows priced on a 2-layer ``stack3d`` platform
+        (TSV derating, per-layer ambient gradients); ``()`` skips the
+        stacked section entirely.
     """
     engine = ThermalEngine.ensure(
         paper_platform(n_cores, n_levels=n_levels, t_max_c=t_max_c)
@@ -170,10 +242,43 @@ def faults_experiment(
                 ao_perturbed_margin=float(engine.theta_max - peak),
             )
         )
+    stacked_rows: list[StackedFaultRow] = []
+    stacked_theta_max = None
+    if stacked_scenarios:
+        from repro.platforms import PlatformSpec
+
+        stacked_engine = ThermalEngine.ensure(
+            PlatformSpec.named(
+                "stack3d",
+                n_layers=2,
+                rows=int(stack_rows),
+                cols=int(stack_cols),
+                n_levels=n_levels,
+                t_max_c=t_max_c,
+            ).build()
+        )
+        stacked_theta_max = float(stacked_engine.theta_max)
+        r_stack = ao_spec.solve(stacked_engine, m_cap=m_cap)
+        stack_seeds = spawn_fault_seeds(int(seed) + 1, len(stacked_scenarios))
+        for child, (label, kwargs) in zip(stack_seeds, stacked_scenarios):
+            spec = FaultSpec(**{"seed": child, **kwargs})
+            peak = stacked_perturbed_peak(
+                stacked_engine, r_stack.schedule, spec, n_layers=2
+            )
+            stacked_rows.append(
+                StackedFaultRow(
+                    name=label,
+                    faults=spec,
+                    perturbed_peak=float(peak),
+                    perturbed_margin=float(stacked_theta_max - peak),
+                )
+            )
     return FaultsResult(
         rows=tuple(rows),
         ao_throughput=float(r_ao.throughput),
         ao_certificate=r_ao.certificate,
         theta_max=float(engine.theta_max),
         seed=int(seed),
+        stacked_rows=tuple(stacked_rows),
+        stacked_theta_max=stacked_theta_max,
     )

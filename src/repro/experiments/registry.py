@@ -24,6 +24,7 @@ from repro.experiments.fig6 import fig6
 from repro.experiments.fig7 import fig7
 from repro.experiments.headline import headline
 from repro.experiments.motivation import table2, table3
+from repro.experiments.realtime import realtime_experiment
 from repro.experiments.scaling import scaling_experiment
 from repro.experiments.table5 import table5
 from repro.experiments.tsp_comparison import tsp_comparison
@@ -193,6 +194,21 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
                 "n_cores": 4,
                 "n_levels": 3,
                 "m_cap": 16,
+            },
+            accepts_runner=True,
+        ),
+        ExperimentSpec(
+            name="realtime",
+            run=realtime_experiment,
+            description="k-fault-tolerant real-time frames: margin-aware "
+            "vs thermally-blind backup placement",
+            quick={
+                "k_values": (1,),
+                "intensities": (1,),
+                "utilizations": (0.9,),
+                "n_sets": 2,
+                "n_frames": 4,
+                "steps_per_frame": 4,
             },
             accepts_runner=True,
         ),

@@ -33,6 +33,7 @@ __all__ = [
     "execute_unit",
     "solve_cell_outcome",
     "solve_cell_platform",
+    "realtime_cell_outcome",
     "comparison_units",
     "canonical_json",
     "units_hash",
@@ -221,6 +222,80 @@ def _exec_solve_cell(payload: Mapping[str, Any]) -> dict[str, Any]:
     return solve_cell_outcome(payload)
 
 
+def realtime_cell_outcome(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Plan and fault-inject one real-time frame-scheduling scenario.
+
+    The payload is *fully sampled*: it carries the concrete workload
+    (every task's cycles and criticality) and the complete
+    :class:`~repro.safety.faults.FaultSpec` document (every knob, every
+    pre-drawn core failure) — nothing is re-drawn at execution time, so
+    a failed unit replays bit-exactly from its journal row on
+    ``--resume``.
+
+    Keys: ``platform`` (spec doc or preset name), ``policy``
+    (``margin``/``blind``), ``k``, ``workload``
+    (:meth:`~repro.realtime.frames.FrameWorkload.as_dict` doc),
+    ``faults`` (:meth:`~repro.safety.faults.FaultSpec.as_dict` doc or
+    ``None``), ``n_frames``, ``steps_per_frame``.
+
+    An :class:`~repro.errors.InfeasibleError` from admission is a normal
+    outcome (``status="infeasible"``): the scenario's schedulability is
+    *false*, not a runner failure.
+    """
+    from repro.errors import InfeasibleError
+    from repro.obs import capture_spans, span
+    from repro.realtime import FrameWorkload, plan_frames, simulate_recovery
+    from repro.service.session import default_session
+
+    engine = default_session().engine_for(_platform_spec_doc(payload))
+    workload = FrameWorkload.from_dict(payload["workload"])
+    policy = str(payload["policy"])
+    k = int(payload["k"])
+    mark = engine.checkpoint()
+    outcome: dict[str, Any]
+    with capture_spans(isolate=True) as captured:
+        with span(
+            "unit/realtime_cell", policy=policy, k=k,
+            n_tasks=workload.n_tasks,
+        ) as root:
+            try:
+                placement = plan_frames(engine, workload, k=k, policy=policy)
+            except InfeasibleError as exc:
+                outcome = {
+                    "status": "infeasible",
+                    "result": None,
+                    "stats": engine.stats_since(mark).as_dict(),
+                    "detail": str(exc),
+                }
+            else:
+                report = simulate_recovery(
+                    engine,
+                    placement,
+                    payload.get("faults"),
+                    n_frames=int(payload.get("n_frames", 8)),
+                    steps_per_frame=int(payload.get("steps_per_frame", 8)),
+                )
+                outcome = {
+                    "status": "ok",
+                    "result": {
+                        "placement": placement.as_dict(),
+                        "recovery": report.as_dict(),
+                        "schedulable": bool(
+                            not placement.shed and report.safe
+                        ),
+                    },
+                    "stats": engine.stats_since(mark).as_dict(),
+                }
+            root.set_attrs(status=outcome["status"])
+    outcome["spans"] = [s.as_dict() for s in captured]
+    return outcome
+
+
+def _exec_realtime_cell(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Worker entry point for ``realtime_cell`` units."""
+    return realtime_cell_outcome(payload)
+
+
 def _exec_probe(payload: Mapping[str, Any]) -> dict[str, Any]:
     """Fault-injection unit for runner tests.
 
@@ -259,6 +334,7 @@ def _exec_probe(payload: Mapping[str, Any]) -> dict[str, Any]:
 #: Executor registry: ``unit.kind`` -> callable(payload) -> outcome doc.
 EXECUTORS: dict[str, Any] = {
     "solve_cell": _exec_solve_cell,
+    "realtime_cell": _exec_realtime_cell,
     "probe": _exec_probe,
 }
 

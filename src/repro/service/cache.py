@@ -139,14 +139,16 @@ def schedule_cache_key(
     solver: str,
     params: Mapping[str, Any] | None = None,
     certify_tolerance: float | None = None,
+    margin_policy: str | None = None,
 ) -> str:
     """Content key of one solve request (32 hex chars).
 
     ``platform_key`` is a :func:`platform_hash`; parameters are
     canonicalized (tuples and arrays become lists, numpy scalars become
     Python scalars) so spelling differences do not split the cache, and
-    *any* parameter change — including the certification tolerance —
-    yields a different key.
+    *any* parameter change — including the certification tolerance and
+    the margin policy — yields a different key.  ``margin_policy=None``
+    and ``"off"`` hash identically (they request the same solve).
     """
     doc = {
         "format": CACHE_FORMAT,
@@ -155,6 +157,8 @@ def schedule_cache_key(
         "params": _canonical_value(dict(params or {})),
         "certify_tolerance": certify_tolerance,
     }
+    if margin_policy not in (None, "off"):
+        doc["margin_policy"] = str(margin_policy)
     return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()[:32]
 
 

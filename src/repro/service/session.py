@@ -268,6 +268,7 @@ class SchedulerSession:
         params: Mapping[str, Any] | None = None,
         *,
         certify_tolerance: float | None = None,
+        margin_policy: str | None = None,
         use_cache: bool = True,
     ) -> SolveOutcome:
         """One guarded, certified, cached solve request.
@@ -275,7 +276,9 @@ class SchedulerSession:
         Unknown parameter names raise
         :class:`~repro.errors.SolverError` *before* the guarded path —
         a malformed request is a client error, not a solver failure to
-        degrade through the fallback chain.
+        degrade through the fallback chain.  ``margin_policy`` is part
+        of the cache key: a shrink-policy result is never served for a
+        plain request or vice versa.
         """
         from repro.algorithms.registry import get_solver
         from repro.errors import SolverError
@@ -295,7 +298,7 @@ class SchedulerSession:
 
         key, _built, _spec = self._resolve(platform)
         cache_key = schedule_cache_key(
-            key, spec.name, params, certify_tolerance
+            key, spec.name, params, certify_tolerance, margin_policy
         )
         caching = use_cache and cache_enabled()
         if caching:
@@ -310,6 +313,7 @@ class SchedulerSession:
         return self._solve_uncached(
             platform, spec, params,
             certify_tolerance=certify_tolerance,
+            margin_policy=margin_policy,
             platform_key=key, cache_key=cache_key, store=caching,
         )
 
@@ -320,6 +324,7 @@ class SchedulerSession:
         params: dict[str, Any],
         *,
         certify_tolerance: float | None,
+        margin_policy: str | None = None,
         platform_key: str,
         cache_key: str,
         store: bool,
@@ -336,7 +341,8 @@ class SchedulerSession:
             try:
                 result = guarded_solve(
                     spec, engine,
-                    certify_tolerance=certify_tolerance, **params,
+                    certify_tolerance=certify_tolerance,
+                    margin_policy=margin_policy, **params,
                 )
             except InfeasibleError as exc:
                 status, result, detail = "infeasible", None, str(exc)

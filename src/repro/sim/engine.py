@@ -119,11 +119,18 @@ def simulate_closed_loop(
     exact interval solution, tracks the dense within-step peak, perturbs
     the end-of-step sensor reading through the injected
     :class:`~repro.safety.faults.FaultSpec` (noise, dropout, ambient
-    drift), pins a stuck DVFS core, and hands the *perturbed* reading to
-    ``policy`` — which returns the ladder level indices for the next
-    step.  The physics the statistics are taken over always uses the
-    true temperatures; only the policy is lied to, exactly like on real
-    silicon.
+    drift), pins a stuck DVFS core, power-gates failed cores, and hands
+    the *perturbed* reading to ``policy`` — which returns the ladder
+    level indices for the next step.  The physics the statistics are
+    taken over always uses the true temperatures; only the policy is
+    lied to, exactly like on real silicon.
+
+    Core failures (``faults.core_failures``) are fail-stop: from the
+    first step whose start fraction (``step / n_steps``) reaches a
+    failure's ``at_fraction``, the failed core draws zero power no
+    matter what the policy commands (transient failures return after
+    their outage).  The applied-levels trace records the zeros — that
+    is what the silicon ran.
 
     Parameters
     ----------
@@ -170,11 +177,20 @@ def simulate_closed_loop(
     measured_time = 0.0
     last_reading = np.zeros(n)
 
+    has_failures = faults is not None and bool(faults.core_failures)
+
     for step in range(n_steps):
         if stuck_idx is not None:
             # The stuck actuator ignores whatever the policy decided.
             level_idx[faults.stuck_core] = stuck_idx
         volts = levels_arr[level_idx]
+        if has_failures:
+            dead = faults.failed_cores_at(step / n_steps)
+            if dead:
+                volts = volts.copy()
+                for core in dead:
+                    if core < n:
+                        volts[core] = 0.0
         # Dense within-step maximum (the sensor cannot see it, we can).
         drift = faults.drift_at((step + 1) / n_steps) if faults is not None else 0.0
         sol = interval_solution(model, theta, volts, sensor_period)

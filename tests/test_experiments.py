@@ -178,13 +178,13 @@ class TestRegistry:
     def test_all_ids_present(self):
         expected = {"table2", "table3", "fig2", "fig3", "fig4", "fig5",
                     "fig6", "fig7", "table5", "headline", "tsp", "reactive",
-                    "comparison", "faults", "control", "scaling"}
+                    "comparison", "faults", "control", "scaling", "realtime"}
         assert expected == set(EXPERIMENTS)
 
     def test_runner_capable_experiments(self):
         runner_capable = {n for n, s in EXPERIMENTS.items() if s.accepts_runner}
         assert runner_capable == {"comparison", "fig6", "fig7", "table5",
-                                  "headline", "control", "scaling"}
+                                  "headline", "control", "scaling", "realtime"}
 
     def test_get_unknown_raises(self):
         with pytest.raises(KeyError):

@@ -15,6 +15,9 @@ import repro
 
 SRC_OBS = Path(__file__).resolve().parents[1] / "src" / "repro" / "obs"
 SRC_SCALING = Path(__file__).resolve().parents[1] / "src" / "repro" / "scaling"
+SRC_REALTIME = (
+    Path(__file__).resolve().parents[1] / "src" / "repro" / "realtime"
+)
 
 #: The frozen surface.  Edit ONLY when deliberately publishing/retiring
 #: a public name (and say so in the changelog).
@@ -68,6 +71,10 @@ PUBLIC_SURFACE = sorted([
     "TaskSet",
     "PeriodicTask",
     "schedule_taskset",
+    "FrameWorkload",
+    "RTTask",
+    "plan_frames",
+    "simulate_recovery",
     "cosimulate",
     "run_experiment",
     "ReproError",
@@ -180,6 +187,36 @@ class TestObsLayering:
             text=True,
         )
         assert proc.returncode == 0, proc.stderr
+
+
+class TestRealtimeLayering:
+    """repro.realtime sits below the solver and experiment layers.
+
+    The ``realtime`` experiment and the runner's ``realtime_cell``
+    executor import the scheduler, never the other way round; mirrors
+    the ruff TID ban (pyproject.toml) so the rule holds even where ruff
+    isn't installed.
+    """
+
+    BANNED_PREFIXES = ("repro.algorithms", "repro.experiments")
+
+    def test_realtime_never_imports_upper_layers(self):
+        offenders = []
+        for path in sorted(SRC_REALTIME.glob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                modules = []
+                if isinstance(node, ast.Import):
+                    modules = [alias.name for alias in node.names]
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    modules = [node.module]
+                for module in modules:
+                    if module.startswith(self.BANNED_PREFIXES):
+                        offenders.append(f"{path.name}: {module}")
+        assert not offenders, (
+            "repro.realtime must not import solver/experiment layers: "
+            + ", ".join(offenders)
+        )
 
 
 class TestScalingLayering:

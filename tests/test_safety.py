@@ -39,6 +39,39 @@ def engine2():
 
 
 @pytest.fixture(scope="module")
+def ill_engine():
+    """A deliberately ill-conditioned 2-core platform.
+
+    No preset crosses :data:`MARGIN_POLICY_CONDITION` (the worst,
+    ``stack3d``, sits around 2e2), so the shrink policy's applied path
+    needs a synthetic system: inflating one core's ambient conductance
+    stretches the spectrum of ``G - E_beta`` past 1e4 while keeping it
+    symmetric positive definite — the platform just cools that core
+    harder, so every solver still runs.
+    """
+    from repro.platform import Platform
+    from repro.thermal.model import ThermalModel
+    from repro.thermal.rc import RCNetwork
+
+    base = paper_platform(2, n_levels=2, t_max_c=65.0)
+    net = base.model.network
+    g = net.conductance.copy()
+    g[0, 0] += 5e3
+    network = RCNetwork(
+        floorplan=net.floorplan,
+        conductance=g,
+        capacitance=net.capacitance,
+        core_nodes=net.core_nodes,
+    )
+    model = ThermalModel(network, base.model.power,
+                         t_ambient_c=base.model.t_ambient_c)
+    return ThermalEngine(
+        Platform(model=model, ladder=base.ladder,
+                 overhead=base.overhead, t_max_c=65.0)
+    )
+
+
+@pytest.fixture(scope="module")
 def ao_result(engine2):
     return get_solver("AO").solve(engine2, m_cap=16)
 
@@ -170,6 +203,81 @@ class TestGuardedSolve:
             result = run_fallback_hop(hop, engine2)
             assert result.schedule.n_cores == 2
             assert np.isfinite(result.peak_theta)
+
+
+class TestMarginPolicy:
+    """The ``"shrink"`` margin policy of :func:`guarded_solve`.
+
+    On well-conditioned platforms it is a no-op with a recorded reason;
+    past :data:`MARGIN_POLICY_CONDITION` with a nonzero certificate
+    disagreement it re-solves against a tightened ``T_max`` and
+    re-certifies the result against the original threshold.
+    """
+
+    def _near_liar(self, offset=0.02):
+        """AO with its peak claim shifted by less than the tolerance —
+        accepted certificate, nonzero route disagreement."""
+        honest = get_solver("AO")
+
+        def solver(engine, **params):
+            r = honest.func(engine, **params)
+            return dataclasses.replace(r, peak_theta=r.peak_theta - offset)
+
+        return dataclasses.replace(honest, func=solver)
+
+    def test_unknown_policy_rejected(self, engine2):
+        with pytest.raises(ConfigurationError):
+            guarded_solve("AO", engine2, margin_policy="bogus", m_cap=16)
+
+    def test_off_and_none_leave_no_record(self, engine2):
+        for policy in (None, "off"):
+            result = guarded_solve(
+                "AO", engine2, margin_policy=policy, m_cap=16
+            )
+            assert "margin_policy" not in result.details
+
+    def test_well_conditioned_platform_skipped(self, engine2):
+        result = guarded_solve(
+            "AO", engine2, margin_policy="shrink", m_cap=16
+        )
+        record = result.details["margin_policy"]
+        assert record["applied"] is False
+        assert record["reason"] == "well conditioned"
+        assert record["condition_number"] < record["condition_threshold"]
+
+    def test_agreeing_routes_skipped(self, ill_engine):
+        result = guarded_solve(
+            "AO", ill_engine, margin_policy="shrink", m_cap=16
+        )
+        record = result.details["margin_policy"]
+        assert record["condition_number"] >= record["condition_threshold"]
+        assert record["applied"] is False
+        assert record["reason"] == "reference routes agree"
+        assert record["disagreement"] == 0.0
+
+    def test_applied_on_ill_conditioned_disagreement(self, ill_engine):
+        """The acceptance criterion: high condition number + route
+        disagreement tightens T_max by the disagreement, and the
+        re-certified result keeps the original threshold."""
+        before = METRICS.counter("safety.margin_policy").value
+        with capture_spans(isolate=True) as spans:
+            result = guarded_solve(
+                self._near_liar(), ill_engine,
+                margin_policy="shrink", m_cap=16,
+            )
+        record = result.details["margin_policy"]
+        assert record["applied"] is True
+        assert record["shrink_theta"] == record["disagreement"] > 0.0
+        assert (
+            record["tightened_t_max_c"]
+            == ill_engine.platform.t_max_c - record["disagreement"]
+        )
+        # Re-certified against the *original* engine, not the shrunk one.
+        assert result.certificate.theta_max == ill_engine.theta_max
+        assert result.certificate.accepted and result.feasible
+        assert result.peak_theta <= ill_engine.theta_max + 1e-9
+        assert METRICS.counter("safety.margin_policy").value == before + 1
+        assert any(s.name == "safety/margin_policy" for s in spans)
 
 
 class TestFaultSpec:

@@ -127,6 +127,24 @@ class TestScheduleCacheKey:
         b = schedule_cache_key(phash, "AO", {"shift_grid": [4, 8]}, None)
         assert a == b
 
+    def test_margin_policy_in_key(self):
+        """``"shrink"`` results must not collide with plain solves, while
+        the no-op spellings (None / "off") keep their pre-policy keys —
+        existing on-disk caches stay valid."""
+        phash = platform_hash(load_platform(SPEC2))
+        base = schedule_cache_key(phash, "AO", {"m_cap": 8}, 0.05)
+        off = schedule_cache_key(
+            phash, "AO", {"m_cap": 8}, 0.05, margin_policy="off"
+        )
+        none = schedule_cache_key(
+            phash, "AO", {"m_cap": 8}, 0.05, margin_policy=None
+        )
+        shrink = schedule_cache_key(
+            phash, "AO", {"m_cap": 8}, 0.05, margin_policy="shrink"
+        )
+        assert base == off == none
+        assert shrink != base
+
     def test_key_stable_across_process_restart(self):
         """The on-disk layer is only sound if a new process derives the
         same keys — sha256 over canonical JSON, no per-process salt."""
